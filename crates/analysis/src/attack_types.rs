@@ -1,0 +1,296 @@
+//! Attack-type tabulation (Tables 5 and 11) and §6.2 statistics.
+
+use incite_corpus::Document;
+use incite_stats::chisq::{chi_square_gof, ChiSquareResult};
+use incite_stats::correction::benjamini_hochberg;
+use incite_taxonomy::{AttackType, DataSet, Subcategory};
+
+/// One data-set column of Tables 5/11.
+#[derive(Debug, Clone)]
+pub struct AttackColumn {
+    pub data_set: DataSet,
+    /// Total annotated calls to harassment in the column.
+    pub size: usize,
+    /// Count per subcategory (Table 11 rows), indexed by
+    /// [`Subcategory::index`].
+    pub subcategory_counts: Vec<usize>,
+}
+
+impl AttackColumn {
+    /// Count for one subcategory.
+    pub fn subcategory(&self, sub: Subcategory) -> usize {
+        self.subcategory_counts[sub.index()]
+    }
+
+    /// Count for a parent attack type: documents carrying *any* label under
+    /// the parent (matching the paper's per-document parent totals).
+    pub fn parent(&self, parent: AttackType, docs: &[&Document]) -> usize {
+        docs.iter()
+            .filter(|d| d.platform.data_set() == self.data_set)
+            .filter(|d| d.truth.labels.contains_parent(parent))
+            .count()
+    }
+
+    /// Percentage of the column size.
+    pub fn percent(&self, count: usize) -> f64 {
+        if self.size == 0 {
+            0.0
+        } else {
+            100.0 * count as f64 / self.size as f64
+        }
+    }
+}
+
+/// Tabulates Table 11 columns for the CTH data sets.
+pub fn tabulate(docs: &[&Document]) -> Vec<AttackColumn> {
+    [DataSet::Boards, DataSet::Chat, DataSet::Gab]
+        .iter()
+        .map(|&ds| {
+            let in_ds: Vec<&&Document> = docs
+                .iter()
+                .filter(|d| d.platform.data_set() == ds)
+                .collect();
+            let mut counts = vec![0usize; Subcategory::COUNT];
+            for d in &in_ds {
+                for sub in d.truth.labels.iter() {
+                    counts[sub.index()] += 1;
+                }
+            }
+            AttackColumn {
+                data_set: ds,
+                size: in_ds.len(),
+                subcategory_counts: counts,
+            }
+        })
+        .collect()
+}
+
+/// §6.2 co-occurrence summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoOccurrence {
+    pub total: usize,
+    /// Documents with > 1 parent attack type.
+    pub multi_label: usize,
+    pub exactly_two: usize,
+    pub exactly_three: usize,
+    pub four_or_more: usize,
+    /// Fraction of surveillance CTH that are also content leakage.
+    pub surveillance_with_leakage: f64,
+    /// Fraction of impersonation CTH that are also public-opinion
+    /// manipulation.
+    pub impersonation_with_pom: f64,
+}
+
+/// Computes the §6.2 co-occurrence summary over annotated CTH documents.
+pub fn co_occurrence(docs: &[&Document]) -> CoOccurrence {
+    let mut multi = 0;
+    let mut two = 0;
+    let mut three = 0;
+    let mut four = 0;
+    let mut surveillance = 0;
+    let mut surveillance_leak = 0;
+    let mut impersonation = 0;
+    let mut impersonation_pom = 0;
+    for d in docs {
+        let parents = d.truth.labels.parent_count();
+        if parents > 1 {
+            multi += 1;
+            match parents {
+                2 => two += 1,
+                3 => three += 1,
+                _ => four += 1,
+            }
+        }
+        if d.truth.labels.contains_parent(AttackType::Surveillance) {
+            surveillance += 1;
+            if d.truth.labels.contains_parent(AttackType::ContentLeakage) {
+                surveillance_leak += 1;
+            }
+        }
+        if d.truth.labels.contains_parent(AttackType::Impersonation) {
+            impersonation += 1;
+            if d.truth
+                .labels
+                .contains_parent(AttackType::PublicOpinionManipulation)
+            {
+                impersonation_pom += 1;
+            }
+        }
+    }
+    let frac = |num: usize, den: usize| {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
+    CoOccurrence {
+        total: docs.len(),
+        multi_label: multi,
+        exactly_two: two,
+        exactly_three: three,
+        four_or_more: four,
+        surveillance_with_leakage: frac(surveillance_leak, surveillance),
+        impersonation_with_pom: frac(impersonation_pom, impersonation),
+    }
+}
+
+/// One §6.2 comparison: a reporting subcategory's counts across data sets,
+/// chi-square tested against a uniform-rate null.
+#[derive(Debug, Clone)]
+pub struct SubcategoryComparison {
+    pub subcategory: Subcategory,
+    /// (data set, count, column size) triples.
+    pub cells: Vec<(DataSet, usize, usize)>,
+    pub test: Option<ChiSquareResult>,
+    /// Significant after Benjamini–Hochberg at the given rate.
+    pub significant: bool,
+}
+
+/// Runs the §6.2 one-way chi-square tests over the reporting subcategories
+/// across data sets, BH-corrected.
+pub fn reporting_comparisons(columns: &[AttackColumn], fdr: f64) -> Vec<SubcategoryComparison> {
+    let subs = [
+        Subcategory::FalseReportingToAuthorities,
+        Subcategory::MassFlagging,
+        Subcategory::ReportingMisc,
+    ];
+    let mut comparisons: Vec<SubcategoryComparison> = subs
+        .iter()
+        .map(|&sub| {
+            let cells: Vec<(DataSet, usize, usize)> = columns
+                .iter()
+                .map(|c| (c.data_set, c.subcategory(sub), c.size))
+                .collect();
+            // Observed counts vs expectation proportional to column sizes.
+            let observed: Vec<f64> = cells.iter().map(|(_, n, _)| *n as f64).collect();
+            let total_obs: f64 = observed.iter().sum();
+            let total_size: f64 = cells.iter().map(|(_, _, s)| *s as f64).sum();
+            let expected: Vec<f64> = cells
+                .iter()
+                .map(|(_, _, s)| total_obs * (*s as f64) / total_size.max(1.0))
+                .collect();
+            let test = chi_square_gof(&observed, Some(&expected));
+            SubcategoryComparison {
+                subcategory: sub,
+                cells,
+                test,
+                significant: false,
+            }
+        })
+        .collect();
+    let pvals: Vec<f64> = comparisons
+        .iter()
+        .map(|c| c.test.map(|t| t.p_value).unwrap_or(1.0))
+        .collect();
+    for (c, rej) in comparisons.iter_mut().zip(benjamini_hochberg(&pvals, fdr)) {
+        c.significant = rej;
+    }
+    comparisons
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incite_corpus::{generate, Corpus, CorpusConfig};
+
+    fn corpus() -> Corpus {
+        generate(&CorpusConfig::small(21))
+    }
+
+    fn cth_docs(corpus: &Corpus) -> Vec<&Document> {
+        corpus.documents.iter().filter(|d| d.truth.is_cth).collect()
+    }
+
+    #[test]
+    fn columns_cover_three_data_sets() {
+        let corpus = corpus();
+        let docs = cth_docs(&corpus);
+        let cols = tabulate(&docs);
+        assert_eq!(cols.len(), 3);
+        for c in &cols {
+            assert!(c.size > 0, "{:?} empty", c.data_set);
+            let total: usize = c.subcategory_counts.iter().sum();
+            assert!(total >= c.size, "labels should cover every doc");
+        }
+    }
+
+    #[test]
+    fn reporting_dominates_all_columns() {
+        // Table 5's headline: reporting is the largest parent everywhere.
+        let corpus = corpus();
+        let docs = cth_docs(&corpus);
+        let cols = tabulate(&docs);
+        for c in &cols {
+            let reporting = c.parent(AttackType::Reporting, &docs);
+            for parent in AttackType::ALL {
+                if parent != AttackType::Reporting {
+                    assert!(
+                        reporting >= c.parent(parent, &docs),
+                        "{parent} beats reporting on {:?}",
+                        c.data_set
+                    );
+                }
+            }
+            // And it's > 40 % of the column, as in Table 5.
+            assert!(c.percent(reporting) > 35.0);
+        }
+    }
+
+    #[test]
+    fn overloading_skews_away_from_boards() {
+        // Table 5: boards 6.06 % overloading vs chat 14.47 % / Gab 19.85 %.
+        let corpus = corpus();
+        let docs = cth_docs(&corpus);
+        let cols = tabulate(&docs);
+        let pct = |ds: DataSet| {
+            let c = cols.iter().find(|c| c.data_set == ds).unwrap();
+            c.percent(c.parent(AttackType::Overloading, &docs))
+        };
+        assert!(pct(DataSet::Boards) < pct(DataSet::Chat));
+        assert!(pct(DataSet::Boards) < pct(DataSet::Gab));
+    }
+
+    #[test]
+    fn co_occurrence_matches_planted_structure() {
+        let corpus = corpus();
+        let docs = cth_docs(&corpus);
+        let co = co_occurrence(&docs);
+        assert_eq!(co.total, docs.len());
+        let multi_frac = co.multi_label as f64 / co.total as f64;
+        // §6.2: 13 % multi-label (some slack at this scale). Blog-planted
+        // CTH are all dual-label, nudging the rate up slightly.
+        assert!(
+            (0.06..0.25).contains(&multi_frac),
+            "multi fraction {multi_frac}"
+        );
+        // Two-label dominates among multi.
+        assert!(co.exactly_two > co.exactly_three);
+        assert_eq!(
+            co.multi_label,
+            co.exactly_two + co.exactly_three + co.four_or_more
+        );
+    }
+
+    #[test]
+    fn reporting_comparisons_produce_tests() {
+        let corpus = corpus();
+        let docs = cth_docs(&corpus);
+        let cols = tabulate(&docs);
+        let comps = reporting_comparisons(&cols, 0.1);
+        assert_eq!(comps.len(), 3);
+        for c in &comps {
+            assert_eq!(c.cells.len(), 3);
+            assert!(c.test.is_some());
+        }
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let cols = tabulate(&[]);
+        assert!(cols.iter().all(|c| c.size == 0));
+        let co = co_occurrence(&[]);
+        assert_eq!(co.multi_label, 0);
+        assert_eq!(co.surveillance_with_leakage, 0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! CTH ∩ dox thread overlap (§6.3).
+//!
+//! "We used all calls to harassment and doxes above the threshold of our
+//! classifier … We identified overlap by measuring the number of call to
+//! harassment documents above the threshold that shared a thread with a dox
+//! document above its respective threshold."
+
+use incite_corpus::{Corpus, DocId};
+use incite_taxonomy::Platform;
+use std::collections::{HashMap, HashSet};
+
+/// The §6.3 overlap measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreadOverlap {
+    /// Above-threshold CTH documents on the boards.
+    pub cth_total: usize,
+    /// Of those, documents sharing a thread with an above-threshold dox.
+    pub cth_with_dox: usize,
+    /// Above-threshold dox documents on the boards.
+    pub dox_total: usize,
+    /// Of those, documents sharing a thread with an above-threshold CTH.
+    pub dox_with_cth: usize,
+    /// Fraction of all board threads containing an above-threshold CTH
+    /// (the paper's 0.20 % chance rate).
+    pub cth_thread_base_rate: f64,
+    /// Same for doxes (0.10 %).
+    pub dox_thread_base_rate: f64,
+    /// Documents in both above-threshold sets (the paper's 95 posts).
+    pub both_documents: usize,
+}
+
+impl ThreadOverlap {
+    /// Fraction of CTH sharing a thread with a dox (paper: 8.53 %).
+    pub fn cth_with_dox_fraction(&self) -> f64 {
+        if self.cth_total == 0 {
+            0.0
+        } else {
+            self.cth_with_dox as f64 / self.cth_total as f64
+        }
+    }
+
+    /// Fraction of dox threads containing a CTH (paper: 17.85 %).
+    pub fn dox_with_cth_fraction(&self) -> f64 {
+        if self.dox_total == 0 {
+            0.0
+        } else {
+            self.dox_with_cth as f64 / self.dox_total as f64
+        }
+    }
+}
+
+/// Computes the thread overlap between two above-threshold id sets.
+pub fn thread_overlap(corpus: &Corpus, cth_ids: &[DocId], dox_ids: &[DocId]) -> ThreadOverlap {
+    let cth_set: HashSet<DocId> = cth_ids.iter().copied().collect();
+    let dox_set: HashSet<DocId> = dox_ids.iter().copied().collect();
+
+    // thread id → (has CTH, has dox) over board documents.
+    let mut thread_flags: HashMap<u64, (bool, bool)> = HashMap::new();
+    let mut cth_docs: Vec<(DocId, u64)> = Vec::new();
+    let mut dox_docs: Vec<(DocId, u64)> = Vec::new();
+    let mut total_threads: HashSet<u64> = HashSet::new();
+    for d in corpus.by_platform(Platform::Boards) {
+        let Some(t) = d.thread else { continue };
+        total_threads.insert(t.thread_id);
+        let flags = thread_flags.entry(t.thread_id).or_default();
+        if cth_set.contains(&d.id) {
+            flags.0 = true;
+            cth_docs.push((d.id, t.thread_id));
+        }
+        if dox_set.contains(&d.id) {
+            flags.1 = true;
+            dox_docs.push((d.id, t.thread_id));
+        }
+    }
+
+    let cth_with_dox = cth_docs
+        .iter()
+        .filter(|(_, tid)| thread_flags.get(tid).is_some_and(|f| f.1))
+        .count();
+    let dox_with_cth = dox_docs
+        .iter()
+        .filter(|(_, tid)| thread_flags.get(tid).is_some_and(|f| f.0))
+        .count();
+    let both_documents = cth_docs
+        .iter()
+        .filter(|(id, _)| dox_set.contains(id))
+        .count();
+
+    let n_threads = total_threads.len().max(1) as f64;
+    let cth_threads = thread_flags.values().filter(|f| f.0).count() as f64;
+    let dox_threads = thread_flags.values().filter(|f| f.1).count() as f64;
+
+    ThreadOverlap {
+        cth_total: cth_docs.len(),
+        cth_with_dox,
+        dox_total: dox_docs.len(),
+        dox_with_cth,
+        cth_thread_base_rate: cth_threads / n_threads,
+        dox_thread_base_rate: dox_threads / n_threads,
+        both_documents,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incite_corpus::{generate, CorpusConfig};
+
+    #[test]
+    fn overlap_on_ground_truth_sets() {
+        let corpus = generate(&CorpusConfig::small(66));
+        let cth_ids: Vec<DocId> = corpus
+            .by_platform(Platform::Boards)
+            .filter(|d| d.truth.is_cth)
+            .map(|d| d.id)
+            .collect();
+        let dox_ids: Vec<DocId> = corpus
+            .by_platform(Platform::Boards)
+            .filter(|d| d.truth.is_dox)
+            .map(|d| d.id)
+            .collect();
+        let ov = thread_overlap(&corpus, &cth_ids, &dox_ids);
+        assert_eq!(ov.cth_total, cth_ids.len());
+        assert_eq!(ov.dox_total, dox_ids.len());
+        // The generator plants ~8.5 % overlap from the CTH side.
+        let frac = ov.cth_with_dox_fraction();
+        assert!((0.03..0.25).contains(&frac), "cth-with-dox {frac}");
+        // Dox-side fraction is in the same band (set sizes are comparable
+        // in the synthetic corpus; the paper's 17.85 % reflects its CTH set
+        // being twice the dox set).
+        assert!(ov.dox_with_cth_fraction() >= frac * 0.4);
+        // NOTE: the paper's 0.1–0.2 % chance base rates require the full
+        // 405 M-post corpus; at test scale positives are dense relative to
+        // thread count, so base rates are structurally higher and are not
+        // asserted here (EXPERIMENTS.md discusses this).
+        assert!(ov.dox_thread_base_rate > 0.0);
+        // The planted "both pipelines" posts are visible.
+        assert!(ov.both_documents > 0);
+    }
+
+    #[test]
+    fn disjoint_sets_have_zero_overlap() {
+        let corpus = generate(&CorpusConfig::tiny(9));
+        let ov = thread_overlap(&corpus, &[], &[]);
+        assert_eq!(ov.cth_total, 0);
+        assert_eq!(ov.cth_with_dox_fraction(), 0.0);
+        assert_eq!(ov.both_documents, 0);
+    }
+
+    #[test]
+    fn non_board_ids_are_ignored() {
+        let corpus = generate(&CorpusConfig::tiny(9));
+        let gab_ids: Vec<DocId> = corpus.by_platform(Platform::Gab).map(|d| d.id).collect();
+        let ov = thread_overlap(&corpus, &gab_ids, &gab_ids);
+        assert_eq!(ov.cth_total, 0);
+        assert_eq!(ov.dox_total, 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Plain-text table and figure rendering.
+//!
+//! Shared by the `repro` binary and the examples: aligned ASCII tables and
+//! a small horizontal-bar / CDF sketcher so every paper artifact can be
+//! inspected in a terminal or diffed in CI.
+
+/// Renders an aligned ASCII table. The first row is the header.
+pub fn table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let pad = widths[i] - cell.chars().count();
+            // Right-align numeric-looking cells, left-align text.
+            let numeric = cell.chars().next().is_some_and(|c| c.is_ascii_digit())
+                || cell.starts_with('-') && cell.len() > 1;
+            if numeric && i > 0 {
+                out.extend(std::iter::repeat_n(' ', pad));
+                out.push_str(cell);
+            } else {
+                out.push_str(cell);
+                if i + 1 < row.len() {
+                    out.extend(std::iter::repeat_n(' ', pad));
+                }
+            }
+        }
+        out.push('\n');
+        if ri == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+            out.extend(std::iter::repeat_n('-', total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Formats `count (pct%)` the way the paper's tables do.
+pub fn count_pct(count: usize, total: usize) -> String {
+    if total == 0 {
+        format!("{count} (-)")
+    } else {
+        format!("{:.2}% ({})", 100.0 * count as f64 / total as f64, count)
+    }
+}
+
+/// Sketches an ASCII CDF from `(x, F(x))` series. Each series is drawn as a
+/// row of bucketed glyphs; good enough to eyeball who dominates whom.
+pub fn cdf_sketch(series: &[(&str, &[(f64, f64)])], width: usize) -> String {
+    let mut out = String::new();
+    for (name, curve) in series {
+        let mut line = format!("{name:>10} |");
+        for i in 0..width {
+            let idx = if curve.is_empty() {
+                continue;
+            } else {
+                i * curve.len() / width
+            };
+            let y = curve[idx.min(curve.len() - 1)].1;
+            let glyph = match (y * 8.0) as usize {
+                0 => ' ',
+                1 => '.',
+                2 => ':',
+                3 => '-',
+                4 => '=',
+                5 => '+',
+                6 => '*',
+                7 => '#',
+                _ => '█',
+            };
+            line.push(glyph);
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// A labeled horizontal bar chart (used for Figure 2 combination counts).
+pub fn bar_chart(rows: &[(String, usize)], width: usize) -> String {
+    let max = rows.iter().map(|(_, v)| *v).max().unwrap_or(1).max(1);
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let bar_len = value * width / max;
+        out.push_str(&format!(
+            "{label:<label_w$} | {} {value}\n",
+            "█".repeat(bar_len),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let rows = vec![
+            vec!["Name".to_string(), "Count".to_string()],
+            vec!["boards".to_string(), "405943".to_string()],
+            vec!["gab".to_string(), "50".to_string()],
+        ];
+        let out = table(&rows);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4); // header, rule, 2 rows
+        assert!(lines[1].starts_with('-'));
+        // Numbers right-aligned: both data lines end at the same column.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn count_pct_formats_like_the_paper() {
+        assert_eq!(count_pct(1152, 2045), "56.33% (1152)");
+        assert_eq!(count_pct(3, 0), "3 (-)");
+    }
+
+    #[test]
+    fn empty_table_is_empty() {
+        assert!(table(&[]).is_empty());
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let rows = vec![("a".to_string(), 10), ("b".to_string(), 5)];
+        let out = bar_chart(&rows, 10);
+        let lines: Vec<&str> = out.lines().collect();
+        let bars: Vec<usize> = lines
+            .iter()
+            .map(|l| l.chars().filter(|c| *c == '█').count())
+            .collect();
+        assert_eq!(bars, vec![10, 5]);
+    }
+
+    #[test]
+    fn cdf_sketch_renders_rows() {
+        let curve = [(1.0, 0.1), (10.0, 0.5), (100.0, 1.0)];
+        let out = cdf_sketch(&[("cth", &curve), ("base", &curve)], 20);
+        assert_eq!(out.lines().count(), 2);
+        assert!(out.contains("cth"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Crowd-worker qualification and retesting (§5.3).
+//!
+//! "Annotators were allowed to participate in the study if they received a
+//! score of 90 % or above on an initial set of 10 randomly selected posts
+//! from our set of initial annotations, and annotators were retested every
+//! tenth document. We removed annotators from the task if their score fell
+//! below 85 %."
+
+use crate::annotator::Annotator;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Gate parameters (paper defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct QualificationConfig {
+    /// Screening-test length.
+    pub screening_questions: usize,
+    /// Minimum screening score to enter (0.90).
+    pub entry_score: f64,
+    /// Removal threshold on the running test score (0.85).
+    pub retention_score: f64,
+    /// Insert a test question every N documents (10).
+    pub retest_every: usize,
+}
+
+impl Default for QualificationConfig {
+    fn default() -> Self {
+        QualificationConfig {
+            screening_questions: 10,
+            entry_score: 0.90,
+            retention_score: 0.85,
+            retest_every: 10,
+        }
+    }
+}
+
+/// Tracks one annotator's qualification state through a task.
+#[derive(Debug, Clone)]
+pub struct Qualification {
+    config: QualificationConfig,
+    tests_taken: usize,
+    tests_passed: usize,
+    docs_since_test: usize,
+    active: bool,
+}
+
+impl Qualification {
+    /// Runs the entry screening; returns `None` if the annotator fails it.
+    pub fn screen(
+        annotator: &Annotator,
+        config: QualificationConfig,
+        base_rate: f64,
+        rng: &mut StdRng,
+    ) -> Option<Qualification> {
+        let mut correct = 0;
+        for _ in 0..config.screening_questions {
+            let truth = rng.gen_bool(base_rate);
+            if annotator.annotate(truth, rng) == truth {
+                correct += 1;
+            }
+        }
+        let score = correct as f64 / config.screening_questions.max(1) as f64;
+        if score + 1e-12 >= config.entry_score {
+            Some(Qualification {
+                config,
+                tests_taken: 0,
+                tests_passed: 0,
+                docs_since_test: 0,
+                active: true,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Whether the annotator is still allowed on the task.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Running test score (1.0 before any retest).
+    pub fn running_score(&self) -> f64 {
+        if self.tests_taken == 0 {
+            1.0
+        } else {
+            self.tests_passed as f64 / self.tests_taken as f64
+        }
+    }
+
+    /// Records one annotated document; every `retest_every` documents a
+    /// hidden test question is injected and scored. Returns `false` when
+    /// the annotator has been removed.
+    pub fn record_document(
+        &mut self,
+        annotator: &Annotator,
+        base_rate: f64,
+        rng: &mut StdRng,
+    ) -> bool {
+        if !self.active {
+            return false;
+        }
+        self.docs_since_test += 1;
+        if self.docs_since_test >= self.config.retest_every {
+            self.docs_since_test = 0;
+            let truth = rng.gen_bool(base_rate);
+            self.tests_taken += 1;
+            if annotator.annotate(truth, rng) == truth {
+                self.tests_passed += 1;
+            }
+            if self.running_score() < self.config.retention_score {
+                self.active = false;
+            }
+        }
+        self.active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(123)
+    }
+
+    #[test]
+    fn oracle_always_qualifies_and_survives() {
+        let a = Annotator::oracle("o");
+        let mut r = rng();
+        let mut q = Qualification::screen(&a, QualificationConfig::default(), 0.3, &mut r).unwrap();
+        for _ in 0..500 {
+            assert!(q.record_document(&a, 0.3, &mut r));
+        }
+        assert_eq!(q.running_score(), 1.0);
+    }
+
+    #[test]
+    fn bad_annotators_fail_screening_often() {
+        let bad = Annotator {
+            id: "bad".into(),
+            sensitivity: 0.5,
+            specificity: 0.5,
+        };
+        let mut r = rng();
+        let passes = (0..200)
+            .filter(|_| {
+                Qualification::screen(&bad, QualificationConfig::default(), 0.5, &mut r).is_some()
+            })
+            .count();
+        // P(≥9/10 correct at 50 %) ≈ 1.1 %.
+        assert!(passes < 20, "bad annotator passed {passes}/200 screenings");
+    }
+
+    #[test]
+    fn mediocre_annotators_get_removed_over_time() {
+        let mediocre = Annotator {
+            id: "m".into(),
+            sensitivity: 0.6,
+            specificity: 0.6,
+        };
+        let mut r = rng();
+        let mut removed = 0;
+        let trials = 50;
+        for _ in 0..trials {
+            // Skip screening; start them active to test retention alone.
+            let mut q = Qualification {
+                config: QualificationConfig::default(),
+                tests_taken: 0,
+                tests_passed: 0,
+                docs_since_test: 0,
+                active: true,
+            };
+            for _ in 0..300 {
+                if !q.record_document(&mediocre, 0.5, &mut r) {
+                    removed += 1;
+                    break;
+                }
+            }
+        }
+        assert!(removed > trials / 2, "only {removed}/{trials} removed");
+    }
+
+    #[test]
+    fn retest_cadence_is_every_tenth_document() {
+        let a = Annotator::oracle("o");
+        let mut r = rng();
+        let mut q = Qualification::screen(&a, QualificationConfig::default(), 0.5, &mut r).unwrap();
+        for _ in 0..9 {
+            q.record_document(&a, 0.5, &mut r);
+        }
+        assert_eq!(q.tests_taken, 0);
+        q.record_document(&a, 0.5, &mut r);
+        assert_eq!(q.tests_taken, 1);
+        for _ in 0..10 {
+            q.record_document(&a, 0.5, &mut r);
+        }
+        assert_eq!(q.tests_taken, 2);
+    }
+
+    #[test]
+    fn removed_annotators_stay_removed() {
+        let a = Annotator::oracle("o");
+        let mut r = rng();
+        let mut q = Qualification {
+            config: QualificationConfig::default(),
+            tests_taken: 10,
+            tests_passed: 0,
+            docs_since_test: 9,
+            active: true,
+        };
+        // Next document triggers a retest; even a pass keeps score 1/11 < 0.85.
+        assert!(!q.record_document(&a, 0.5, &mut r));
+        assert!(!q.is_active());
+        assert!(!q.record_document(&a, 0.5, &mut r));
+    }
+}

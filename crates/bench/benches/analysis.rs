@@ -1,0 +1,163 @@
+//! Analysis-stage benchmarks: attack tabulation, thread statistics,
+//! harm-risk assignment, repeated-dox linking, and the quality ablations
+//! (combined vs per-platform training; fixed vs searched threshold).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use incite_analysis::{attack_types, harm_risk, repeats, threads};
+use incite_annotate::Annotator;
+use incite_core::threshold::{select_threshold, ThresholdConfig};
+use incite_core::Task;
+use incite_corpus::{generate, Corpus, CorpusConfig, DocId, Document};
+use incite_ml::{FeatureMode, FeaturizerConfig, TextClassifier, TrainConfig};
+use incite_pii::PiiExtractor;
+use incite_taxonomy::Platform;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn corpus() -> Corpus {
+    generate(&CorpusConfig::small(77))
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    let corpus = corpus();
+    let cth: Vec<&Document> = corpus.documents.iter().filter(|d| d.truth.is_cth).collect();
+    let doxes: Vec<&Document> = corpus.documents.iter().filter(|d| d.truth.is_dox).collect();
+    let extractor = PiiExtractor::new();
+
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(10);
+    group.bench_function("attack_tabulate", |b| {
+        b.iter(|| attack_types::tabulate(&cth).len())
+    });
+    group.bench_function("thread_position_stats", |b| {
+        let board: Vec<&Document> = cth
+            .iter()
+            .copied()
+            .filter(|d| d.platform == Platform::Boards)
+            .collect();
+        b.iter(|| threads::position_stats(&board).n)
+    });
+    group.throughput(Throughput::Elements(doxes.len() as u64));
+    group.bench_function("harm_risk_figure2", |b| {
+        b.iter(|| harm_risk::figure2(&extractor, &doxes).0.total)
+    });
+    group.bench_function("repeated_dox_linking", |b| {
+        b.iter(|| repeats::repeated_doxes(&extractor, &doxes).repeated)
+    });
+    group.finish();
+}
+
+/// DESIGN.md ablation 2: combined vs per-platform training data. The paper
+/// found per-source models underperform; this bench reports the quality
+/// difference as AUC printed to stderr alongside timing.
+fn bench_training_scope_ablation(c: &mut Criterion) {
+    let corpus = corpus();
+    let combined: Vec<(&str, bool)> = corpus
+        .documents
+        .iter()
+        .filter(|d| Task::Cth.applies_to(d.platform))
+        .take(4_000)
+        .map(|d| (d.text.as_str(), d.truth.is_cth))
+        .collect();
+    let single: Vec<(&str, bool)> = corpus
+        .by_platform(Platform::Gab)
+        .take(4_000)
+        .map(|d| (d.text.as_str(), d.truth.is_cth))
+        .collect();
+    let eval: Vec<(&str, bool)> = corpus
+        .by_platform(Platform::Boards)
+        .take(2_000)
+        .map(|d| (d.text.as_str(), d.truth.is_cth))
+        .collect();
+
+    let fc = || FeaturizerConfig {
+        mode: FeatureMode::Word,
+        hash_bits: 15,
+        max_len: 128,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("training_scope_ablation");
+    group.sample_size(10);
+    for (name, data) in [("combined", &combined), ("gab_only", &single)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), data, |b, data| {
+            b.iter(|| {
+                let clf = TextClassifier::train(
+                    data.iter().copied(),
+                    fc(),
+                    TrainConfig {
+                        epochs: 4,
+                        ..Default::default()
+                    },
+                );
+                let report = clf.evaluate(eval.iter().copied(), 0.5);
+                report.auc.unwrap_or(0.5)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// DESIGN.md ablation 4: the §5.5 precision-driven threshold search vs the
+/// fixed 0.5 default.
+fn bench_threshold_policy_ablation(c: &mut Criterion) {
+    let corpus = corpus();
+    // Synthetic scores with realistic noise.
+    let mut rng = StdRng::seed_from_u64(1);
+    use rand::Rng;
+    let scores: Vec<(DocId, f32)> = corpus
+        .documents
+        .iter()
+        .map(|d| {
+            let base: f32 = if d.truth.is_dox { 0.82 } else { 0.25 };
+            (d.id, (base + rng.gen_range(-0.3f32..0.3)).clamp(0.0, 1.0))
+        })
+        .collect();
+    let expert = Annotator::expert("e");
+
+    let mut group = c.benchmark_group("threshold_policy");
+    group.sample_size(10);
+    group.bench_function("searched", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            select_threshold(
+                &corpus,
+                Task::Dox,
+                Platform::Pastes,
+                &scores,
+                &expert,
+                ThresholdConfig::default(),
+                1_000,
+                &mut rng,
+            )
+            .true_positives
+        })
+    });
+    group.bench_function("fixed_0.5", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            select_threshold(
+                &corpus,
+                Task::Dox,
+                Platform::Pastes,
+                &scores,
+                &expert,
+                ThresholdConfig {
+                    candidates: [0.5; 6],
+                    ..Default::default()
+                },
+                1_000,
+                &mut rng,
+            )
+            .true_positives
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_analyses,
+    bench_training_scope_ablation,
+    bench_threshold_policy_ablation
+);
+criterion_main!(benches);

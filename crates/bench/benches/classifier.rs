@@ -1,0 +1,143 @@
+//! Classifier benchmarks and the DESIGN.md §5 model/feature ablations:
+//! logistic regression vs naive Bayes, feature modes, and the Table 3 text
+//! length hyperparameter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use incite_corpus::{generate, CorpusConfig};
+use incite_ml::{
+    Dataset, FeatureMode, Featurizer, FeaturizerConfig, LogisticRegression, NaiveBayes,
+    TextClassifier, TrainConfig,
+};
+
+fn labeled(n: usize) -> Vec<(String, bool)> {
+    let corpus = generate(&CorpusConfig::tiny(5));
+    corpus
+        .documents
+        .iter()
+        .take(n)
+        .map(|d| (d.text.clone(), d.truth.is_cth || d.truth.is_dox))
+        .collect()
+}
+
+fn bench_featurize_modes(c: &mut Criterion) {
+    let data = labeled(1_500);
+    let texts: Vec<&str> = data.iter().map(|(t, _)| t.as_str()).collect();
+    let mut group = c.benchmark_group("featurize_mode");
+    group.throughput(Throughput::Elements(texts.len() as u64));
+    group.sample_size(10);
+    for mode in [FeatureMode::Word, FeatureMode::Subword, FeatureMode::Char] {
+        let config = FeaturizerConfig {
+            mode,
+            vocab_size: 1024,
+            ..Default::default()
+        };
+        let featurizer = Featurizer::fit(config, texts.iter().copied());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}")),
+            &featurizer,
+            |b, f| b.iter(|| texts.iter().map(|t| f.features(t).len()).sum::<usize>()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_text_length(c: &mut Criterion) {
+    // Table 3 ablation: max text length 128 vs 512.
+    let data = labeled(1_200);
+    let mut group = c.benchmark_group("text_length");
+    group.sample_size(10);
+    for max_len in [128usize, 256, 512] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(max_len),
+            &max_len,
+            |b, &max_len| {
+                b.iter(|| {
+                    let clf = TextClassifier::train(
+                        data.iter().map(|(t, l)| (t.as_str(), *l)),
+                        FeaturizerConfig {
+                            max_len,
+                            mode: FeatureMode::Word,
+                            hash_bits: 15,
+                            ..Default::default()
+                        },
+                        TrainConfig {
+                            epochs: 3,
+                            ..Default::default()
+                        },
+                    );
+                    clf.score("we need to report him to the platform") as f64
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_model_ablation(c: &mut Criterion) {
+    // Logistic regression vs naive Bayes on identical features.
+    let data = labeled(1_500);
+    let config = FeaturizerConfig {
+        mode: FeatureMode::Word,
+        hash_bits: 15,
+        ..Default::default()
+    };
+    let featurizer = Featurizer::fit(config, data.iter().map(|(t, _)| t.as_str()));
+    let mut dataset = Dataset::new();
+    for (t, l) in &data {
+        dataset.push(featurizer.features(t), *l);
+    }
+    let dims = featurizer.dimensions();
+
+    let mut group = c.benchmark_group("classifier_ablation");
+    group.sample_size(10);
+    group.bench_function("logreg_train", |b| {
+        b.iter(|| {
+            LogisticRegression::train(
+                &dataset,
+                dims,
+                TrainConfig {
+                    epochs: 5,
+                    ..Default::default()
+                },
+            )
+            .dimensions()
+        })
+    });
+    group.bench_function("naive_bayes_train", |b| {
+        b.iter(|| {
+            let nb = NaiveBayes::train(&dataset, dims, 1.0);
+            nb.predict(&dataset.examples[0].features)
+        })
+    });
+
+    let lr = LogisticRegression::train(&dataset, dims, TrainConfig::default());
+    let nb = NaiveBayes::train(&dataset, dims, 1.0);
+    group.throughput(Throughput::Elements(dataset.len() as u64));
+    group.bench_function("logreg_predict", |b| {
+        b.iter(|| {
+            dataset
+                .examples
+                .iter()
+                .map(|e| lr.predict_proba(&e.features))
+                .sum::<f32>()
+        })
+    });
+    group.bench_function("naive_bayes_predict", |b| {
+        b.iter(|| {
+            dataset
+                .examples
+                .iter()
+                .map(|e| nb.predict_proba(&e.features))
+                .sum::<f32>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_featurize_modes,
+    bench_text_length,
+    bench_model_ablation
+);
+criterion_main!(benches);

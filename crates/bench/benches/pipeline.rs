@@ -1,0 +1,122 @@
+//! Pipeline-stage benchmarks: bootstrap query, corpus scoring (serial vs
+//! parallel), decile sampling, threshold selection, and the end-to-end run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use incite_annotate::Annotator;
+use incite_core::active_learning::decile_sample;
+use incite_core::pipeline::score_corpus;
+use incite_core::query::figure4_query;
+use incite_core::threshold::{select_threshold, ThresholdConfig};
+use incite_core::{run_pipeline, PipelineConfig, Task};
+use incite_corpus::{generate, CorpusConfig, DocId, Document};
+use incite_ml::{FeatureMode, FeaturizerConfig, TextClassifier, TrainConfig};
+use incite_taxonomy::Platform;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+fn bench_bootstrap_query(c: &mut Criterion) {
+    let corpus = generate(&CorpusConfig::tiny(3));
+    let query = figure4_query();
+    let boards: Vec<&Document> = corpus.by_platform(Platform::Boards).collect();
+    let mut group = c.benchmark_group("bootstrap");
+    group.throughput(Throughput::Elements(boards.len() as u64));
+    group.bench_function("figure4_query", |b| {
+        b.iter(|| boards.iter().filter(|d| query.matches(&d.text)).count())
+    });
+    group.finish();
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let corpus = generate(&CorpusConfig::tiny(3));
+    let docs: Vec<&Document> = corpus.documents.iter().collect();
+    let labeled: Vec<(&str, bool)> = docs
+        .iter()
+        .take(800)
+        .map(|d| (d.text.as_str(), d.truth.is_dox))
+        .collect();
+    let clf = TextClassifier::train(
+        labeled,
+        FeaturizerConfig {
+            mode: FeatureMode::Word,
+            hash_bits: 15,
+            ..Default::default()
+        },
+        TrainConfig {
+            epochs: 4,
+            ..Default::default()
+        },
+    );
+    let mut group = c.benchmark_group("scoring");
+    group.throughput(Throughput::Elements(docs.len() as u64));
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| b.iter(|| score_corpus(&clf, &docs, threads).len()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_sampling_and_threshold(c: &mut Criterion) {
+    let corpus = generate(&CorpusConfig::tiny(3));
+    let scores: Vec<(DocId, f32)> = corpus
+        .documents
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (d.id, (i % 1000) as f32 / 1000.0))
+        .collect();
+
+    let mut group = c.benchmark_group("pipeline_stages");
+    group.bench_function("decile_sample", |b| {
+        let labeled = HashSet::new();
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            decile_sample(&scores, 40, &labeled, &mut rng).len()
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("select_threshold", |b| {
+        let expert = Annotator::expert("e");
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(9);
+            select_threshold(
+                &corpus,
+                Task::Dox,
+                Platform::Pastes,
+                &scores,
+                &expert,
+                ThresholdConfig::default(),
+                500,
+                &mut rng,
+            )
+            .true_positives
+        })
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let corpus = generate(&CorpusConfig::tiny(3));
+    let mut group = c.benchmark_group("pipeline_end_to_end");
+    group.sample_size(10);
+    group.bench_function("dox_quick", |b| {
+        b.iter(|| {
+            run_pipeline(&corpus, Task::Dox, &PipelineConfig::quick(1))
+                .counts
+                .true_positives
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bootstrap_query,
+    bench_scoring,
+    bench_sampling_and_threshold,
+    bench_end_to_end
+);
+criterion_main!(benches);

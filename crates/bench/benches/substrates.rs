@@ -1,0 +1,133 @@
+//! Substrate micro-benchmarks: the text stack, regex/PII extraction, and
+//! corpus generation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use incite_corpus::{generate, CorpusConfig};
+use incite_pii::PiiExtractor;
+use incite_regex::Regex;
+use incite_textkit::{
+    normalize, sample_spans, tokenize, FeatureHasher, SpanStrategy, SplitMix64, WordPieceEncoder,
+    WordPieceTrainer,
+};
+
+fn sample_texts() -> Vec<String> {
+    let corpus = generate(&CorpusConfig::tiny(1));
+    corpus
+        .documents
+        .iter()
+        .map(|d| d.text.clone())
+        .take(2_000)
+        .collect()
+}
+
+fn bench_text_stack(c: &mut Criterion) {
+    let texts = sample_texts();
+    let bytes: usize = texts.iter().map(|t| t.len()).sum();
+
+    let mut group = c.benchmark_group("textkit");
+    group.throughput(Throughput::Bytes(bytes as u64));
+    group.bench_function("normalize", |b| {
+        b.iter(|| texts.iter().map(|t| normalize(t).len()).sum::<usize>())
+    });
+    group.bench_function("tokenize", |b| {
+        b.iter(|| texts.iter().map(|t| tokenize(t).len()).sum::<usize>())
+    });
+    group.finish();
+
+    // WordPiece: train once, bench encoding.
+    let words: Vec<String> = texts
+        .iter()
+        .flat_map(|t| t.split_whitespace().map(|w| w.to_lowercase()))
+        .collect();
+    let trainer = WordPieceTrainer::new(2048);
+    let encoder = WordPieceEncoder::new(trainer.train(words.iter().map(|s| s.as_str())));
+    let mut group = c.benchmark_group("wordpiece");
+    group.throughput(Throughput::Elements(words.len() as u64));
+    group.bench_function("encode_words", |b| {
+        b.iter(|| {
+            words
+                .iter()
+                .map(|w| encoder.encode_word(w).len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+
+    let hasher = FeatureHasher::new(18);
+    let mut group = c.benchmark_group("feature_hash");
+    group.throughput(Throughput::Elements(words.len() as u64));
+    group.bench_function("hash_features", |b| {
+        b.iter(|| {
+            hasher
+                .hash_features(words.iter().map(|s| s.as_str()), true)
+                .len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_span_strategies(c: &mut Criterion) {
+    let long_doc = "we need to report this whole situation to everyone involved ".repeat(200);
+    let mut group = c.benchmark_group("span_sampling");
+    for strategy in SpanStrategy::ablation_set() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.slug()),
+            &strategy,
+            |b, &strategy| {
+                let mut rng = SplitMix64::new(7);
+                b.iter(|| sample_spans(&long_doc, 512, 4, strategy, &mut rng).len())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_regex_and_pii(c: &mut Criterion) {
+    let texts = sample_texts();
+    let bytes: usize = texts.iter().map(|t| t.len()).sum();
+
+    let email = Regex::new(r"\b[a-z0-9._%+-]+@[a-z0-9.-]+\.[a-z][a-z]+\b").unwrap();
+    let mut group = c.benchmark_group("regex");
+    group.throughput(Throughput::Bytes(bytes as u64));
+    group.bench_function("email_find_iter", |b| {
+        b.iter(|| {
+            texts
+                .iter()
+                .map(|t| email.find_iter(t).count())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+
+    let extractor = PiiExtractor::new();
+    let mut group = c.benchmark_group("pii");
+    group.throughput(Throughput::Bytes(bytes as u64));
+    group.sample_size(10);
+    group.bench_function("extract_all_12", |b| {
+        b.iter(|| {
+            texts
+                .iter()
+                .map(|t| extractor.extract(t).len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_corpus_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus");
+    group.sample_size(10);
+    group.bench_function("generate_tiny", |b| {
+        b.iter(|| generate(&CorpusConfig::tiny(9)).len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_text_stack,
+    bench_span_strategies,
+    bench_regex_and_pii,
+    bench_corpus_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! `corpus-gen` — generates a synthetic corpus and writes it as JSONL, for
+//! downstream users who want the data without the pipeline.
+//!
+//! ```text
+//! corpus-gen --scale small --seed 7 --out corpus.jsonl
+//! corpus-gen --scale tiny            # stdout
+//! ```
+
+use incite_bench::Scale;
+use incite_corpus::{generate, jsonl};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Tiny;
+    let mut seed = 1u64;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| {
+                        eprintln!("--scale takes tiny|small|paper");
+                        std::process::exit(2);
+                    });
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(1);
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned();
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let corpus = generate(&scale.corpus_config(seed));
+    eprintln!("generated {} documents", corpus.len());
+    match out {
+        Some(path) => {
+            let f = std::fs::File::create(&path).expect("create output file");
+            jsonl::write_jsonl(f, &corpus.documents).expect("write JSONL");
+            eprintln!("written to {path}");
+        }
+        None => {
+            let stdout = std::io::stdout();
+            jsonl::write_jsonl(stdout.lock(), &corpus.documents).expect("write JSONL");
+        }
+    }
+}

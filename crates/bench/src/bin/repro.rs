@@ -1,0 +1,107 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro all                       # every experiment at the default scale
+//! repro table5 figure2            # specific experiments
+//! repro all --scale paper         # 1/1000 of the paper's raw volume
+//! repro all --seed 7 --out out.txt
+//! repro list                      # show experiment ids
+//! ```
+
+use incite_bench::{run_experiment, ReproContext, Scale, EXPERIMENTS};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale = Scale::Small;
+    let mut seed = 0x1c17e5u64;
+    let mut out_path: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| die("--scale takes tiny|small|paper"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed takes a u64"));
+            }
+            "--out" => {
+                i += 1;
+                out_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--out takes a path")),
+                );
+            }
+            "list" => {
+                println!("available experiments:");
+                for (id, desc) in EXPERIMENTS {
+                    println!("  {id:<10} {desc}");
+                }
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+
+    if ids.is_empty() {
+        eprintln!("usage: repro <experiment ...|all|list> [--scale tiny|small|paper] [--seed N] [--out FILE]");
+        std::process::exit(2);
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = EXPERIMENTS.iter().map(|(id, _)| id.to_string()).collect();
+    }
+    for id in &ids {
+        if !EXPERIMENTS.iter().any(|(e, _)| e == id) {
+            die(&format!("unknown experiment '{id}' (try `repro list`)"));
+        }
+    }
+
+    eprintln!("generating corpus at scale {scale:?} (seed {seed}) ...");
+    let start = std::time::Instant::now();
+    let mut ctx = ReproContext::new(scale, seed);
+    eprintln!(
+        "  {} documents in {:.1}s",
+        ctx.corpus.len(),
+        start.elapsed().as_secs_f64()
+    );
+
+    let mut report = String::new();
+    report.push_str(&format!(
+        "incite reproduction report — scale {scale:?}, seed {seed}, {} documents\n",
+        ctx.corpus.len()
+    ));
+    for id in &ids {
+        eprintln!("running {id} ...");
+        let t = std::time::Instant::now();
+        let section = run_experiment(id, &mut ctx).expect("validated id");
+        report.push_str(&section);
+        eprintln!("  done in {:.1}s", t.elapsed().as_secs_f64());
+    }
+
+    match out_path {
+        Some(path) => {
+            let mut f = std::fs::File::create(&path)
+                .unwrap_or_else(|e| die(&format!("cannot create {path}: {e}")));
+            f.write_all(report.as_bytes()).expect("write report");
+            eprintln!("report written to {path}");
+        }
+        None => print!("{report}"),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,150 @@
+//! Shared reproduction state: corpus + lazily-run pipelines.
+
+use incite_core::{run_pipeline, PipelineConfig, PipelineOutcome, Task};
+use incite_corpus::{generate, Corpus, CorpusConfig};
+
+/// Reproduction scale presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ~6 K documents; CI-speed smoke reproduction.
+    Tiny,
+    /// ~60 K documents, positives at 10 % of the paper's counts.
+    Small,
+    /// 1/1000 of the paper's raw volume (~560 K documents) with the full
+    /// 14,679 planted positives — the EXPERIMENTS.md reference scale.
+    Paper,
+}
+
+impl Scale {
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "paper" | "default" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// The corpus configuration for this scale.
+    pub fn corpus_config(self, seed: u64) -> CorpusConfig {
+        match self {
+            Scale::Tiny => CorpusConfig::tiny(seed),
+            Scale::Small => CorpusConfig::small(seed),
+            Scale::Paper => CorpusConfig {
+                seed,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// The pipeline configuration for this scale.
+    pub fn pipeline_config(self, seed: u64) -> PipelineConfig {
+        match self {
+            Scale::Tiny => PipelineConfig::quick(seed),
+            Scale::Small => PipelineConfig {
+                seed,
+                al_rounds: 2,
+                per_decile: 30,
+                max_seeds: 800,
+                annotation_budget: 2_000,
+                threads: 4,
+                ..PipelineConfig::quick(seed)
+            },
+            Scale::Paper => PipelineConfig {
+                seed,
+                threads: num_threads(),
+                ..Default::default()
+            },
+        }
+    }
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Everything an experiment can ask for. Pipelines run lazily (many
+/// experiments only need the corpus and its planted annotations).
+pub struct ReproContext {
+    pub scale: Scale,
+    pub corpus: Corpus,
+    seed: u64,
+    cth: Option<PipelineOutcome>,
+    dox: Option<PipelineOutcome>,
+}
+
+impl ReproContext {
+    /// Generates the corpus for a scale.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        let corpus = generate(&scale.corpus_config(seed));
+        ReproContext {
+            scale,
+            corpus,
+            seed,
+            cth: None,
+            dox: None,
+        }
+    }
+
+    /// The CTH pipeline outcome (runs it on first use).
+    pub fn cth(&mut self) -> &PipelineOutcome {
+        if self.cth.is_none() {
+            let config = self.scale.pipeline_config(self.seed);
+            self.cth = Some(run_pipeline(&self.corpus, Task::Cth, &config));
+        }
+        self.cth.as_ref().unwrap()
+    }
+
+    /// The dox pipeline outcome (runs it on first use).
+    pub fn dox(&mut self) -> &PipelineOutcome {
+        if self.dox.is_none() {
+            let config = self.scale.pipeline_config(self.seed);
+            self.dox = Some(run_pipeline(&self.corpus, Task::Dox, &config));
+        }
+        self.dox.as_ref().unwrap()
+    }
+
+    /// The planted annotated CTH set (the experts' ground truth stand-in).
+    pub fn annotated_cth(&self) -> Vec<&incite_corpus::Document> {
+        self.corpus
+            .documents
+            .iter()
+            .filter(|d| d.truth.is_cth)
+            .collect()
+    }
+
+    /// The planted annotated dox set, excluding blogs (handled in §8).
+    pub fn annotated_doxes(&self) -> Vec<&incite_corpus::Document> {
+        self.corpus
+            .documents
+            .iter()
+            .filter(|d| d.truth.is_dox && d.platform != incite_taxonomy::Platform::Blogs)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("tiny"), Some(Scale::Tiny));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("default"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn context_lazily_runs_pipelines() {
+        let mut ctx = ReproContext::new(Scale::Tiny, 3);
+        assert!(ctx.cth.is_none());
+        assert!(!ctx.annotated_cth().is_empty());
+        let _ = ctx.cth();
+        assert!(ctx.cth.is_some());
+        assert!(ctx.dox.is_none());
+    }
+}

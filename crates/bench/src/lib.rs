@@ -1,0 +1,17 @@
+//! # incite-bench
+//!
+//! The reproduction harness: one regeneration entry point per table and
+//! figure in the paper (see DESIGN.md §4 for the experiment index), plus
+//! shared state for the Criterion benches.
+//!
+//! ```text
+//! cargo run --release -p incite-bench --bin repro -- all --scale small
+//! cargo run --release -p incite-bench --bin repro -- table5 figure2
+//! ```
+
+pub mod ablations;
+pub mod context;
+pub mod experiments;
+
+pub use context::{ReproContext, Scale};
+pub use experiments::{run_experiment, EXPERIMENTS};

@@ -1,0 +1,28 @@
+//! Every registered experiment must run and produce non-empty output on a
+//! tiny corpus (the CI-speed smoke reproduction).
+
+use incite_bench::{run_experiment, ReproContext, Scale, EXPERIMENTS};
+
+#[test]
+fn every_experiment_runs_at_tiny_scale() {
+    let mut ctx = ReproContext::new(Scale::Tiny, 0xbeef);
+    for (id, _) in EXPERIMENTS {
+        let out = run_experiment(id, &mut ctx).expect("registered id runs");
+        assert!(out.len() > 40, "{id} produced almost no output: {out:?}");
+        assert!(out.contains("====") || out.contains('\n'), "{id}");
+    }
+}
+
+#[test]
+fn unknown_experiment_returns_none() {
+    let mut ctx = ReproContext::new(Scale::Tiny, 1);
+    assert!(run_experiment("not_an_experiment", &mut ctx).is_none());
+}
+
+#[test]
+fn experiment_ids_are_unique() {
+    let mut ids: Vec<&str> = EXPERIMENTS.iter().map(|(id, _)| *id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), EXPERIMENTS.len());
+}

@@ -1,0 +1,19 @@
+//! `incite` — detection, extraction and redaction from the command line.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{}", incite_cli::USAGE);
+        std::process::exit(2);
+    };
+    if command == "help" || command == "--help" || command == "-h" {
+        println!("{}", incite_cli::USAGE);
+        return;
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if let Err(e) = incite_cli::run(command, &args[1..], &mut out) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,329 @@
+//! # incite-cli
+//!
+//! The command-line face of the reproduction: train a detector from a
+//! labeled JSONL corpus, score text, extract or redact PII, and infer
+//! target gender — the operations a platform trust-and-safety team or an
+//! anti-harassment group would actually run (paper §9.2).
+//!
+//! The logic lives here in the library so it is unit-testable; the `incite`
+//! binary is a thin argument parser over [`run`].
+
+use incite_corpus::jsonl;
+use incite_ml::{
+    load_model, save_model, FeatureMode, FeaturizerConfig, TextClassifier, TrainConfig,
+};
+use incite_pii::{infer_gender, redact, PiiExtractor};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// CLI errors, printable to stderr.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+incite <command> [options]
+
+commands:
+  train   --corpus FILE.jsonl --task cth|dox --out MODEL.json [--max-len N]
+          train a detector from a labeled JSONL corpus (corpus-gen format)
+  score   --model MODEL.json [--input FILE] [--threshold T]
+          score one text per input line; prints `score<TAB>text`
+  pii     [--input FILE]
+          extract PII spans per input line; prints `kind<TAB>span`
+  redact  [--input FILE]
+          redact PII per input line; prints the redacted line
+  gender  [--input FILE]
+          pronoun-based target-gender inference per line
+
+`--input` defaults to stdin.";
+
+/// Parsed options: flag name → value.
+pub fn parse_flags(args: &[String]) -> Result<std::collections::HashMap<String, String>, CliError> {
+    let mut flags = std::collections::HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| err(format!("unexpected argument '{}'", args[i])))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| err(format!("--{key} requires a value")))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn input_lines(flags: &std::collections::HashMap<String, String>) -> Result<Vec<String>, CliError> {
+    let reader: Box<dyn Read> = match flags.get("input") {
+        Some(path) => {
+            Box::new(std::fs::File::open(path).map_err(|e| err(format!("open {path}: {e}")))?)
+        }
+        None => Box::new(std::io::stdin()),
+    };
+    BufReader::new(reader)
+        .lines()
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| err(format!("read input: {e}")))
+}
+
+/// Runs one CLI command, writing results to `out`.
+pub fn run(command: &str, args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let flags = parse_flags(args)?;
+    match command {
+        "train" => {
+            let corpus_path = flags
+                .get("corpus")
+                .ok_or_else(|| err("train requires --corpus"))?;
+            let task = flags.get("task").map(|s| s.as_str()).unwrap_or("cth");
+            let out_path = flags
+                .get("out")
+                .ok_or_else(|| err("train requires --out"))?;
+            let max_len: usize = flags
+                .get("max-len")
+                .map(|s| s.parse().map_err(|_| err("--max-len takes a number")))
+                .transpose()?
+                .unwrap_or(if task == "dox" { 512 } else { 128 });
+
+            let file = std::fs::File::open(corpus_path)
+                .map_err(|e| err(format!("open {corpus_path}: {e}")))?;
+            let docs = jsonl::read_jsonl(file).map_err(|e| err(format!("parse corpus: {e}")))?;
+            let labeled: Vec<(&str, bool)> = docs
+                .iter()
+                .map(|d| {
+                    let label = match task {
+                        "dox" => d.truth.is_dox,
+                        "cth" => d.truth.is_cth,
+                        other => return Err(err(format!("unknown task '{other}'"))),
+                    };
+                    Ok((d.text.as_str(), label))
+                })
+                .collect::<Result<_, _>>()?;
+            let positives = labeled.iter().filter(|(_, l)| *l).count();
+            if positives == 0 {
+                return Err(err("corpus has no positive examples for this task"));
+            }
+            let clf = TextClassifier::train(
+                labeled,
+                FeaturizerConfig {
+                    max_len,
+                    mode: FeatureMode::Subword,
+                    ..Default::default()
+                },
+                TrainConfig::default(),
+            );
+            let f = std::fs::File::create(out_path)
+                .map_err(|e| err(format!("create {out_path}: {e}")))?;
+            save_model(f, &clf).map_err(|e| err(e.to_string()))?;
+            writeln!(
+                out,
+                "trained {task} model on {} documents ({positives} positive) -> {out_path}",
+                docs.len()
+            )
+            .map_err(|e| err(e.to_string()))?;
+            Ok(())
+        }
+        "score" => {
+            let model_path = flags
+                .get("model")
+                .ok_or_else(|| err("score requires --model"))?;
+            let threshold: f32 = flags
+                .get("threshold")
+                .map(|s| s.parse().map_err(|_| err("--threshold takes a number")))
+                .transpose()?
+                .unwrap_or(0.5);
+            let f = std::fs::File::open(model_path)
+                .map_err(|e| err(format!("open {model_path}: {e}")))?;
+            let clf = load_model(f).map_err(|e| err(e.to_string()))?;
+            for line in input_lines(&flags)? {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let score = clf.score(&line);
+                let flag = if score > threshold { "FLAG" } else { "ok" };
+                writeln!(out, "{score:.4}\t{flag}\t{line}").map_err(|e| err(e.to_string()))?;
+            }
+            Ok(())
+        }
+        "pii" => {
+            let extractor = PiiExtractor::new();
+            for (lineno, line) in input_lines(&flags)?.iter().enumerate() {
+                for m in extractor.extract(line) {
+                    writeln!(out, "{}\t{}\t{}", lineno + 1, m.kind.slug(), m.text)
+                        .map_err(|e| err(e.to_string()))?;
+                }
+            }
+            Ok(())
+        }
+        "redact" => {
+            let extractor = PiiExtractor::new();
+            for line in input_lines(&flags)? {
+                let (clean, _) = redact(&extractor, &line);
+                writeln!(out, "{clean}").map_err(|e| err(e.to_string()))?;
+            }
+            Ok(())
+        }
+        "gender" => {
+            for line in input_lines(&flags)? {
+                writeln!(out, "{}\t{}", infer_gender(&line).slug(), line)
+                    .map_err(|e| err(e.to_string()))?;
+            }
+            Ok(())
+        }
+        other => Err(err(format!("unknown command '{other}'\n\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incite_corpus::{generate, CorpusConfig};
+
+    fn flags(pairs: &[(&str, &str)]) -> Vec<String> {
+        pairs
+            .iter()
+            .flat_map(|(k, v)| [format!("--{k}"), v.to_string()])
+            .collect()
+    }
+
+    #[test]
+    fn parse_flags_roundtrip_and_errors() {
+        let ok = parse_flags(&flags(&[("model", "m.json"), ("threshold", "0.7")])).unwrap();
+        assert_eq!(ok.get("model").unwrap(), "m.json");
+        assert!(parse_flags(&["--model".to_string()]).is_err());
+        assert!(parse_flags(&["stray".to_string()]).is_err());
+    }
+
+    #[test]
+    fn train_then_score_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("incite-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let corpus_path = dir.join("corpus.jsonl");
+        let model_path = dir.join("model.json");
+
+        let corpus = generate(&CorpusConfig::tiny(11));
+        let f = std::fs::File::create(&corpus_path).unwrap();
+        jsonl::write_jsonl(f, &corpus.documents).unwrap();
+
+        let mut out = Vec::new();
+        run(
+            "train",
+            &flags(&[
+                ("corpus", corpus_path.to_str().unwrap()),
+                ("task", "cth"),
+                ("out", model_path.to_str().unwrap()),
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        assert!(String::from_utf8_lossy(&out).contains("trained cth model"));
+
+        // Score a file of two lines.
+        let input_path = dir.join("lines.txt");
+        std::fs::write(
+            &input_path,
+            "we need to mass report his account right now\nlovely weather for a picnic\n",
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        run(
+            "score",
+            &flags(&[
+                ("model", model_path.to_str().unwrap()),
+                ("input", input_path.to_str().unwrap()),
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let s0: f32 = lines[0].split('\t').next().unwrap().parse().unwrap();
+        let s1: f32 = lines[1].split('\t').next().unwrap().parse().unwrap();
+        assert!(s0 > s1, "CTH should outscore benign: {s0} vs {s1}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pii_and_redact_commands() {
+        let dir = std::env::temp_dir().join(format!("incite-cli-pii-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input_path = dir.join("in.txt");
+        std::fs::write(&input_path, "call 212-555-0101 or mail a@example.com\n").unwrap();
+
+        let mut out = Vec::new();
+        run(
+            "pii",
+            &flags(&[("input", input_path.to_str().unwrap())]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("phone\t"));
+        assert!(text.contains("email\t"));
+
+        let mut out = Vec::new();
+        run(
+            "redact",
+            &flags(&[("input", input_path.to_str().unwrap())]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("[PHONE]"));
+        assert!(!text.contains("555-0101"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gender_command() {
+        let dir = std::env::temp_dir().join(format!("incite-cli-g-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input_path = dir.join("in.txt");
+        std::fs::write(&input_path, "she posted her schedule\nreport the account\n").unwrap();
+        let mut out = Vec::new();
+        run(
+            "gender",
+            &flags(&[("input", input_path.to_str().unwrap())]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("female\t"));
+        assert!(text.contains("unknown\t"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_command_reports_usage() {
+        let mut out = Vec::new();
+        let e = run("bogus", &[], &mut out).unwrap_err();
+        assert!(e.0.contains("unknown command"));
+        assert!(e.0.contains("incite <command>"));
+    }
+
+    #[test]
+    fn train_rejects_bad_inputs() {
+        let mut out = Vec::new();
+        assert!(run("train", &[], &mut out).is_err());
+        let e = run(
+            "train",
+            &flags(&[("corpus", "/nonexistent.jsonl"), ("out", "/tmp/x.json")]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(e.0.contains("open"));
+    }
+}

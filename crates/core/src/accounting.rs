@@ -1,0 +1,77 @@
+//! Figure 1 stage accounting.
+//!
+//! Figure 1 labels each pipeline edge with a document count (raw corpus →
+//! annotations → predicted → thresholded → sampled/annotated → true
+//! positives). [`StageCounts`] accumulates the same numbers for a run so
+//! the `repro` binary can print our Figure 1 next to the paper's.
+
+use serde::{Deserialize, Serialize};
+
+/// Document counts at each pipeline stage for one task.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StageCounts {
+    /// Raw corpus size the pipeline scanned (step 3 in Figure 1).
+    pub raw_documents: u64,
+    /// Bootstrap query hits (CTH) or seed pool size (dox).
+    pub bootstrap_candidates: u64,
+    /// Expert-labeled seed annotations (positive + negative).
+    pub seed_annotations: u64,
+    /// Crowd annotations collected across active-learning rounds.
+    pub crowd_annotations: u64,
+    /// Total training annotations at the final round (Table 2 totals).
+    pub training_annotations: u64,
+    /// Documents scored by the final classifier (= raw documents on
+    /// applicable platforms).
+    pub predicted_documents: u64,
+    /// Documents above the selected per-platform thresholds (step 5).
+    pub above_threshold: u64,
+    /// Documents annotated in the final expert pass (step 6).
+    pub final_annotated: u64,
+    /// Confirmed true positives (step 7).
+    pub true_positives: u64,
+}
+
+impl StageCounts {
+    /// Final-pass precision (true positives / final annotated).
+    pub fn final_precision(&self) -> f64 {
+        if self.final_annotated == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / self.final_annotated as f64
+        }
+    }
+
+    /// Overall funnel reduction factor raw → above threshold.
+    pub fn reduction_factor(&self) -> f64 {
+        if self.above_threshold == 0 {
+            f64::INFINITY
+        } else {
+            self.raw_documents as f64 / self.above_threshold as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_and_reduction() {
+        let c = StageCounts {
+            raw_documents: 1_000_000,
+            above_threshold: 1_000,
+            final_annotated: 500,
+            true_positives: 400,
+            ..Default::default()
+        };
+        assert!((c.final_precision() - 0.8).abs() < 1e-12);
+        assert!((c.reduction_factor() - 1_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_counts_do_not_divide_by_zero() {
+        let c = StageCounts::default();
+        assert_eq!(c.final_precision(), 0.0);
+        assert!(c.reduction_factor().is_infinite());
+    }
+}

@@ -1,0 +1,155 @@
+//! The active-learning loop (§5.3).
+//!
+//! "This cyclical process involved training fine-tuned classifiers with a
+//! subset of very precise data, using these fine-tuned classifiers to
+//! predict the entire data set, and then sampling from the fully classified
+//! data set across the distribution of the predicted scores. … We segmented
+//! the predicted data into 10 ranges between 0.0 and 1.0 and sampled evenly
+//! from each range."
+
+use crate::task::Task;
+use incite_annotate::{annotate_batch, Annotator};
+use incite_corpus::{Corpus, DocId, Document};
+use incite_ml::TextClassifier;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use std::collections::HashSet;
+
+/// Statistics from one active-learning round.
+#[derive(Debug, Clone)]
+pub struct RoundStats {
+    /// Documents sampled and crowd-annotated this round.
+    pub sampled: usize,
+    /// Crowd disagreement rate on the round's batch.
+    pub disagreement_rate: f64,
+    /// Cohen's kappa between the two primary crowd annotators.
+    pub kappa: Option<f64>,
+    /// Positive labels added to the training set.
+    pub positives_added: usize,
+}
+
+/// Samples `per_decile` document indices from each of the ten score
+/// deciles, skipping already-labeled documents.
+pub fn decile_sample(
+    scores: &[(DocId, f32)],
+    per_decile: usize,
+    already_labeled: &HashSet<DocId>,
+    rng: &mut StdRng,
+) -> Vec<DocId> {
+    let mut buckets: Vec<Vec<DocId>> = vec![Vec::new(); 10];
+    for &(id, score) in scores {
+        if already_labeled.contains(&id) {
+            continue;
+        }
+        let bucket = ((score.clamp(0.0, 1.0) * 10.0) as usize).min(9);
+        buckets[bucket].push(id);
+    }
+    let mut sampled = Vec::new();
+    for bucket in &mut buckets {
+        bucket.shuffle(rng);
+        sampled.extend(bucket.iter().take(per_decile).copied());
+    }
+    sampled
+}
+
+/// Runs one active-learning round: score → decile-sample → crowd-annotate →
+/// extend training set → retrain.
+#[allow(clippy::too_many_arguments)]
+pub fn active_learning_round(
+    corpus: &Corpus,
+    task: Task,
+    classifier: &mut TextClassifier,
+    training: &mut Vec<(DocId, String, bool)>,
+    scores: &[(DocId, f32)],
+    per_decile: usize,
+    crowd: (&Annotator, &Annotator, &Annotator),
+    train_config: incite_ml::TrainConfig,
+    rng: &mut StdRng,
+) -> RoundStats {
+    let labeled: HashSet<DocId> = training.iter().map(|(id, _, _)| *id).collect();
+    let sampled_ids = decile_sample(scores, per_decile, &labeled, rng);
+
+    // Look up the sampled documents.
+    let by_id: std::collections::HashMap<DocId, &Document> =
+        corpus.documents.iter().map(|d| (d.id, d)).collect();
+    let sampled_docs: Vec<&Document> = sampled_ids
+        .iter()
+        .filter_map(|id| by_id.get(id).copied())
+        .collect();
+
+    // Crowd annotation with the two + tie-break protocol.
+    let truths: Vec<bool> = sampled_docs.iter().map(|d| task.truth(d)).collect();
+    let outcome = annotate_batch(&truths, crowd.0, crowd.1, crowd.2, rng);
+
+    let mut positives_added = 0;
+    for (doc, &label) in sampled_docs.iter().zip(&outcome.labels) {
+        if label {
+            positives_added += 1;
+        }
+        training.push((doc.id, doc.text.clone(), label));
+    }
+
+    classifier.retrain(
+        training
+            .iter()
+            .map(|(_, text, label)| (text.as_str(), *label)),
+        train_config,
+    );
+
+    RoundStats {
+        sampled: sampled_docs.len(),
+        disagreement_rate: outcome.disagreement_rate(),
+        kappa: outcome.kappa,
+        positives_added,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn scores(n: usize) -> Vec<(DocId, f32)> {
+        (0..n)
+            .map(|i| (DocId(i as u64), i as f32 / n as f32))
+            .collect()
+    }
+
+    #[test]
+    fn decile_sampling_covers_all_ranges() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = scores(1000);
+        let sampled = decile_sample(&s, 5, &HashSet::new(), &mut rng);
+        assert_eq!(sampled.len(), 50);
+        // Every decile contributes: ids 0..100 → decile 0, 900..1000 → 9.
+        let mut deciles: HashSet<usize> = sampled.iter().map(|id| (id.0 / 100) as usize).collect();
+        deciles.remove(&10); // score exactly 1.0 edge
+        assert_eq!(deciles.len(), 10, "{deciles:?}");
+    }
+
+    #[test]
+    fn decile_sampling_skips_labeled() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = scores(100);
+        let labeled: HashSet<DocId> = (0..50).map(DocId).collect();
+        let sampled = decile_sample(&s, 10, &labeled, &mut rng);
+        assert!(sampled.iter().all(|id| id.0 >= 50));
+    }
+
+    #[test]
+    fn sparse_deciles_yield_fewer_samples() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // All scores near zero: only decile 0 is populated.
+        let s: Vec<(DocId, f32)> = (0..100).map(|i| (DocId(i), 0.01)).collect();
+        let sampled = decile_sample(&s, 5, &HashSet::new(), &mut rng);
+        assert_eq!(sampled.len(), 5);
+    }
+
+    #[test]
+    fn scores_above_one_clamp_to_top_decile() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = vec![(DocId(0), 1.0), (DocId(1), 0.999)];
+        let sampled = decile_sample(&s, 5, &HashSet::new(), &mut rng);
+        assert_eq!(sampled.len(), 2);
+    }
+}

@@ -1,0 +1,168 @@
+//! Seed-set construction (§5.1 "Initial Annotations").
+//!
+//! * **CTH:** run the Figure 4 keyword query over the boards (the paper
+//!   initially queried only 4chan/8chan/8kun "since we expected that they
+//!   would have the highest concentration of calls to harassment"), then
+//!   have three expert annotators label the hits.
+//! * **Dox:** the paper reuses annotations from Snyder et al.'s pastebin
+//!   study plus Doxbin positives. We simulate that inheritance by expert-
+//!   labeling a seed sample drawn from the pastes platform (plus a slice of
+//!   boards for negatives variety).
+
+use crate::query::figure4_query;
+use crate::task::Task;
+use incite_annotate::Annotator;
+use incite_corpus::{Corpus, DocId};
+use incite_taxonomy::Platform;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// A labeled seed document.
+#[derive(Debug, Clone)]
+pub struct Seed {
+    pub id: DocId,
+    pub text: String,
+    pub label: bool,
+}
+
+/// Outcome of the bootstrap stage.
+#[derive(Debug, Clone)]
+pub struct BootstrapOutcome {
+    pub seeds: Vec<Seed>,
+    /// Query (or seed-pool) candidate count before annotation.
+    pub candidates: usize,
+}
+
+/// Builds the seed set for a task. `max_seeds` caps expert effort (the
+/// paper's initial sets are ~1.4 K CTH and ~11.6 K dox documents).
+pub fn bootstrap(
+    corpus: &Corpus,
+    task: Task,
+    max_seeds: usize,
+    expert: &Annotator,
+    rng: &mut StdRng,
+) -> BootstrapOutcome {
+    match task {
+        Task::Cth => {
+            let query = figure4_query();
+            let mut hits: Vec<_> = corpus
+                .by_platform(Platform::Boards)
+                .filter(|d| query.matches(&d.text))
+                .collect();
+            let candidates = hits.len();
+            hits.shuffle(rng);
+            hits.truncate(max_seeds);
+            // The query is high recall / low precision; experts sort hits
+            // into positives and negatives.
+            let seeds = hits
+                .into_iter()
+                .map(|d| Seed {
+                    id: d.id,
+                    text: d.text.clone(),
+                    label: expert.annotate(task.truth(d), rng),
+                })
+                .collect();
+            BootstrapOutcome { seeds, candidates }
+        }
+        Task::Dox => {
+            // Seed pool: pastes (prior-work territory) plus a boards slice.
+            let mut pool: Vec<_> = corpus
+                .by_platform(Platform::Pastes)
+                .chain(corpus.by_platform(Platform::Boards).take(max_seeds / 2))
+                .collect();
+            let candidates = pool.len();
+            pool.shuffle(rng);
+            // Prior work's annotations skew positive-rich (1,227 positive /
+            // 10,387 negative); bias the sample toward known doxes the way
+            // Doxbin did, then expert-label.
+            let mut positives: Vec<_> = pool
+                .iter()
+                .copied()
+                .filter(|d| d.truth.is_dox)
+                .take(max_seeds / 4)
+                .collect();
+            let negatives: Vec<_> = pool
+                .iter()
+                .copied()
+                .filter(|d| !d.truth.is_dox)
+                .take(max_seeds - positives.len())
+                .collect();
+            positives.extend(negatives);
+            let seeds = positives
+                .into_iter()
+                .map(|d| Seed {
+                    id: d.id,
+                    text: d.text.clone(),
+                    label: expert.annotate(task.truth(d), rng),
+                })
+                .collect();
+            BootstrapOutcome { seeds, candidates }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incite_corpus::{generate, CorpusConfig};
+    use rand::SeedableRng;
+
+    fn setup() -> (Corpus, StdRng) {
+        (generate(&CorpusConfig::tiny(88)), StdRng::seed_from_u64(9))
+    }
+
+    #[test]
+    fn cth_bootstrap_finds_mobilizing_posts() {
+        let (corpus, mut rng) = setup();
+        let expert = Annotator::oracle("e");
+        let out = bootstrap(&corpus, Task::Cth, 500, &expert, &mut rng);
+        assert!(out.candidates > 0, "query matched nothing");
+        assert!(!out.seeds.is_empty());
+        // With an oracle expert, positives among seeds must be true CTH.
+        let positives = out.seeds.iter().filter(|s| s.label).count();
+        assert!(positives > 0, "no positive seeds found");
+    }
+
+    #[test]
+    fn cth_query_has_high_recall_on_planted_cth() {
+        let (corpus, _) = setup();
+        let query = figure4_query();
+        let cth: Vec<_> = corpus
+            .by_platform(Platform::Boards)
+            .filter(|d| d.truth.is_cth)
+            .collect();
+        let matched = cth.iter().filter(|d| query.matches(&d.text)).count();
+        let recall = matched as f64 / cth.len().max(1) as f64;
+        // The Figure 4 query is a *seed* query, not a detector: it misses
+        // mobilizers and pronouns outside its literal lists (that gap is
+        // what the active-learning rounds close). A third to a half of
+        // planted CTH is the expected yield.
+        assert!(recall > 0.3, "bootstrap recall too low: {recall}");
+        assert!(
+            recall < 0.9,
+            "query suspiciously matches everything: {recall}"
+        );
+    }
+
+    #[test]
+    fn dox_bootstrap_is_positive_biased() {
+        let (corpus, mut rng) = setup();
+        let expert = Annotator::oracle("e");
+        let out = bootstrap(&corpus, Task::Dox, 400, &expert, &mut rng);
+        let positives = out.seeds.iter().filter(|s| s.label).count();
+        assert!(positives > 0);
+        // Positive rate should be well above the corpus base rate.
+        let rate = positives as f64 / out.seeds.len() as f64;
+        assert!(rate > 0.05, "seed positive rate {rate}");
+    }
+
+    #[test]
+    fn seed_cap_is_respected() {
+        let (corpus, mut rng) = setup();
+        let expert = Annotator::expert("e");
+        for task in Task::ALL {
+            let out = bootstrap(&corpus, task, 50, &expert, &mut rng);
+            assert!(out.seeds.len() <= 50, "{task}: {}", out.seeds.len());
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! End-to-end pipeline orchestration (Figure 1).
+
+use crate::accounting::StageCounts;
+use crate::active_learning::{active_learning_round, RoundStats};
+use crate::bootstrap::bootstrap;
+use crate::task::Task;
+use crate::threshold::{select_threshold, PlatformThreshold, ThresholdConfig};
+use incite_annotate::Annotator;
+use incite_corpus::{Corpus, DocId, Document};
+use incite_ml::model::EvalReport;
+use incite_ml::{FeatureMode, FeaturizerConfig, TextClassifier, TrainConfig};
+use incite_taxonomy::Platform;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Pipeline parameters.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Active-learning rounds (the paper ran two per task).
+    pub al_rounds: usize,
+    /// Crowd samples per score decile per round.
+    pub per_decile: usize,
+    /// Expert budget for seed annotation.
+    pub max_seeds: usize,
+    /// Expert budget for the final per-platform annotation pass (the paper
+    /// annotated up to ~3.3 K documents per platform).
+    pub annotation_budget: usize,
+    /// Threshold-search parameters.
+    pub threshold: ThresholdConfig,
+    /// Feature hashing bits.
+    pub hash_bits: u32,
+    /// Feature mode (subword by default).
+    pub feature_mode: FeatureMode,
+    /// SGD parameters.
+    pub train: TrainConfig,
+    /// Scoring threads.
+    pub threads: usize,
+    /// Fraction of labeled data held out for the Table 3 evaluation.
+    pub eval_fraction: f64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            seed: 0xf117e5,
+            al_rounds: 2,
+            per_decile: 40,
+            max_seeds: 1_200,
+            annotation_budget: 3_300,
+            threshold: ThresholdConfig::default(),
+            hash_bits: 18,
+            feature_mode: FeatureMode::Subword,
+            train: TrainConfig::default(),
+            threads: 4,
+            eval_fraction: 0.2,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A fast configuration for tests and examples.
+    pub fn quick(seed: u64) -> Self {
+        PipelineConfig {
+            seed,
+            al_rounds: 1,
+            per_decile: 10,
+            max_seeds: 300,
+            annotation_budget: 500,
+            hash_bits: 15,
+            feature_mode: FeatureMode::Word,
+            threads: 2,
+            ..Default::default()
+        }
+    }
+}
+
+/// Everything a pipeline run produces.
+#[derive(Debug, Clone)]
+pub struct PipelineOutcome {
+    pub task: Task,
+    /// Figure 1 stage counts.
+    pub counts: StageCounts,
+    /// Per-round active-learning statistics (§5.3 diagnostics).
+    pub rounds: Vec<RoundStats>,
+    /// Per-platform Table 4 rows.
+    pub thresholds: Vec<PlatformThreshold>,
+    /// Held-out evaluation (Table 3 metric block).
+    pub eval: EvalReport,
+    /// Final training-set composition per platform: (positives, negatives)
+    /// — the Table 2 reproduction.
+    pub training_by_platform: HashMap<Platform, (usize, usize)>,
+    /// Full classifier scores for every applicable document (consumed by
+    /// the thread-overlap analysis, §6.3).
+    pub scores: Vec<(DocId, f32)>,
+}
+
+impl PipelineOutcome {
+    /// All above-threshold document ids.
+    pub fn above_threshold_ids(&self) -> Vec<DocId> {
+        let mut ids: Vec<DocId> = self
+            .thresholds
+            .iter()
+            .flat_map(|t| t.above_ids.iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// All expert-confirmed true-positive ids (the "annotated" data set).
+    pub fn annotated_positive_ids(&self) -> Vec<DocId> {
+        let mut ids: Vec<DocId> = self
+            .thresholds
+            .iter()
+            .flat_map(|t| t.positive_ids.iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+/// Scores documents in parallel using crossbeam scoped threads.
+pub fn score_corpus(
+    classifier: &TextClassifier,
+    docs: &[&Document],
+    threads: usize,
+) -> Vec<(DocId, f32)> {
+    let threads = threads.max(1);
+    if docs.len() < 256 || threads == 1 {
+        return docs
+            .iter()
+            .map(|d| (d.id, classifier.score(&d.text)))
+            .collect();
+    }
+    let chunk = docs.len().div_ceil(threads);
+    let mut results: Vec<Vec<(DocId, f32)>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = docs
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move |_| {
+                    slice
+                        .iter()
+                        .map(|d| (d.id, classifier.score(&d.text)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("scoring thread panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    results.into_iter().flatten().collect()
+}
+
+/// Runs one task's full pipeline over a corpus.
+pub fn run_pipeline(corpus: &Corpus, task: Task, config: &PipelineConfig) -> PipelineOutcome {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ task.slug().len() as u64);
+    let expert = Annotator::expert("expert");
+    let crowd_a = match task {
+        Task::Cth => Annotator::crowd_cth("crowd-a"),
+        Task::Dox => Annotator::crowd_dox("crowd-a"),
+    };
+    let crowd_b = match task {
+        Task::Cth => Annotator::crowd_cth("crowd-b"),
+        Task::Dox => Annotator::crowd_dox("crowd-b"),
+    };
+    let crowd_c = crowd_a.clone();
+
+    let mut counts = StageCounts::default();
+
+    // Applicable documents.
+    let applicable: Vec<&Document> = corpus
+        .documents
+        .iter()
+        .filter(|d| task.applies_to(d.platform))
+        .collect();
+    counts.raw_documents = applicable.len() as u64;
+
+    // Stage 1: bootstrap seeds.
+    let boot = bootstrap(corpus, task, config.max_seeds, &expert, &mut rng);
+    counts.bootstrap_candidates = boot.candidates as u64;
+    counts.seed_annotations = boot.seeds.len() as u64;
+
+    let mut training: Vec<(DocId, String, bool)> = boot
+        .seeds
+        .iter()
+        .map(|s| (s.id, s.text.clone(), s.label))
+        .collect();
+
+    // Stage 2: initial classifier.
+    let featurizer_config = FeaturizerConfig {
+        max_len: task.text_length(),
+        mode: config.feature_mode,
+        hash_bits: config.hash_bits,
+        seed: config.seed,
+        ..Default::default()
+    };
+    let mut classifier = TextClassifier::train(
+        training.iter().map(|(_, t, l)| (t.as_str(), *l)),
+        featurizer_config,
+        config.train,
+    );
+
+    // Stage 3: active-learning rounds.
+    let mut rounds = Vec::new();
+    for _ in 0..config.al_rounds {
+        let scores = score_corpus(&classifier, &applicable, config.threads);
+        let stats = active_learning_round(
+            corpus,
+            task,
+            &mut classifier,
+            &mut training,
+            &scores,
+            config.per_decile,
+            (&crowd_a, &crowd_b, &crowd_c),
+            config.train,
+            &mut rng,
+        );
+        counts.crowd_annotations += stats.sampled as u64;
+        rounds.push(stats);
+    }
+    counts.training_annotations = training.len() as u64;
+
+    // Stage 4: held-out evaluation (Table 3), then final full training.
+    let mut shuffled = training.clone();
+    shuffled.shuffle(&mut rng);
+    let eval_n = ((shuffled.len() as f64) * config.eval_fraction).round() as usize;
+    let (eval_split, train_split) = shuffled.split_at(eval_n.min(shuffled.len()));
+    let mut eval_model = classifier.clone();
+    eval_model.retrain(
+        train_split.iter().map(|(_, t, l)| (t.as_str(), *l)),
+        config.train,
+    );
+    let eval = eval_model.evaluate(eval_split.iter().map(|(_, t, l)| (t.as_str(), *l)), 0.5);
+    classifier.retrain(
+        training.iter().map(|(_, t, l)| (t.as_str(), *l)),
+        config.train,
+    );
+
+    // Stage 5: full prediction.
+    let scores = score_corpus(&classifier, &applicable, config.threads);
+    counts.predicted_documents = scores.len() as u64;
+
+    // Stage 6: per-platform thresholds + final expert pass.
+    let mut thresholds = Vec::new();
+    for platform in Platform::ALL {
+        if !task.applies_to(platform) {
+            continue;
+        }
+        let row = select_threshold(
+            corpus,
+            task,
+            platform,
+            &scores,
+            &expert,
+            config.threshold,
+            config.annotation_budget,
+            &mut rng,
+        );
+        counts.above_threshold += row.above_threshold as u64;
+        counts.final_annotated += row.annotated as u64;
+        counts.true_positives += row.true_positives as u64;
+        thresholds.push(row);
+    }
+
+    // Table 2 accounting: training labels per platform.
+    let platform_of: HashMap<DocId, Platform> = corpus
+        .documents
+        .iter()
+        .map(|d| (d.id, d.platform))
+        .collect();
+    let mut training_by_platform: HashMap<Platform, (usize, usize)> = HashMap::new();
+    for (id, _, label) in &training {
+        if let Some(p) = platform_of.get(id) {
+            let entry = training_by_platform.entry(*p).or_default();
+            if *label {
+                entry.0 += 1;
+            } else {
+                entry.1 += 1;
+            }
+        }
+    }
+
+    PipelineOutcome {
+        task,
+        counts,
+        rounds,
+        thresholds,
+        eval,
+        training_by_platform,
+        scores,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incite_corpus::{generate, CorpusConfig};
+
+    fn corpus() -> Corpus {
+        generate(&CorpusConfig::tiny(404))
+    }
+
+    #[test]
+    fn dox_pipeline_end_to_end() {
+        let corpus = corpus();
+        let out = run_pipeline(&corpus, Task::Dox, &PipelineConfig::quick(1));
+        assert!(out.counts.raw_documents > 0);
+        assert!(out.counts.seed_annotations > 0);
+        assert!(out.counts.true_positives > 0, "pipeline found no doxes");
+        // Pipeline precision at the final stage should be usable.
+        assert!(
+            out.counts.final_precision() > 0.3,
+            "precision {}",
+            out.counts.final_precision()
+        );
+        // Funnel must reduce the corpus substantially.
+        assert!(out.counts.reduction_factor() > 2.0);
+    }
+
+    #[test]
+    fn cth_pipeline_end_to_end() {
+        let corpus = corpus();
+        let out = run_pipeline(&corpus, Task::Cth, &PipelineConfig::quick(2));
+        assert!(out.counts.true_positives > 0, "pipeline found no CTH");
+        // Pastes/blogs excluded.
+        assert!(out
+            .thresholds
+            .iter()
+            .all(|t| t.platform != Platform::Pastes));
+        assert!(out.thresholds.iter().all(|t| t.platform != Platform::Blogs));
+        // CTH is the harder task: held-out AUC still informative.
+        if let Some(auc) = out.eval.auc {
+            assert!(auc > 0.6, "auc {auc}");
+        }
+    }
+
+    #[test]
+    fn pipeline_recovers_most_planted_positives() {
+        let corpus = corpus();
+        let out = run_pipeline(&corpus, Task::Dox, &PipelineConfig::quick(3));
+        let positive_ids = out.annotated_positive_ids();
+        let truth_ids: std::collections::HashSet<DocId> = corpus
+            .documents
+            .iter()
+            .filter(|d| d.truth.is_dox && d.platform != Platform::Blogs)
+            .map(|d| d.id)
+            .collect();
+        let recovered = positive_ids
+            .iter()
+            .filter(|id| truth_ids.contains(id))
+            .count();
+        let recall = recovered as f64 / truth_ids.len().max(1) as f64;
+        assert!(recall > 0.4, "end-to-end recall {recall}");
+    }
+
+    #[test]
+    fn outcome_id_sets_are_consistent() {
+        let corpus = corpus();
+        let out = run_pipeline(&corpus, Task::Dox, &PipelineConfig::quick(4));
+        let above: std::collections::HashSet<DocId> =
+            out.above_threshold_ids().into_iter().collect();
+        for id in out.annotated_positive_ids() {
+            assert!(above.contains(&id), "positive not above threshold");
+        }
+    }
+
+    #[test]
+    fn scoring_is_parallel_consistent() {
+        let corpus = corpus();
+        let docs: Vec<&Document> = corpus.documents.iter().take(600).collect();
+        let labeled: Vec<(&str, bool)> = docs
+            .iter()
+            .map(|d| (d.text.as_str(), d.truth.is_dox))
+            .collect();
+        let clf = TextClassifier::train(
+            labeled,
+            FeaturizerConfig {
+                mode: FeatureMode::Word,
+                hash_bits: 14,
+                ..Default::default()
+            },
+            TrainConfig::default(),
+        );
+        let serial = score_corpus(&clf, &docs, 1);
+        let parallel = score_corpus(&clf, &docs, 4);
+        let mut s = serial.clone();
+        let mut p = parallel.clone();
+        s.sort_by_key(|(id, _)| *id);
+        p.sort_by_key(|(id, _)| *id);
+        assert_eq!(s, p);
+    }
+}

@@ -1,0 +1,82 @@
+//! The two detection tasks.
+
+use incite_corpus::Document;
+use incite_taxonomy::Platform;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A filtering task: calls to harassment or doxes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Task {
+    Cth,
+    Dox,
+}
+
+impl Task {
+    /// Both tasks.
+    pub const ALL: [Task; 2] = [Task::Cth, Task::Dox];
+
+    /// Whether the task runs on a platform. The CTH task skips pastes
+    /// (no interactivity; Table 2) and blogs (handled qualitatively, §8);
+    /// the dox classifier also skips blogs ("the classifiers … did not
+    /// perform well on the blog data", §8.1).
+    pub fn applies_to(self, platform: Platform) -> bool {
+        match self {
+            Task::Cth => platform.cth_task_applies(),
+            Task::Dox => platform != Platform::Blogs,
+        }
+    }
+
+    /// The planted ground truth for this task.
+    pub fn truth(self, doc: &Document) -> bool {
+        match self {
+            Task::Cth => doc.truth.is_cth,
+            Task::Dox => doc.truth.is_dox,
+        }
+    }
+
+    /// Table 3's per-task max text length (128 CTH / 512 dox).
+    pub fn text_length(self) -> usize {
+        match self {
+            Task::Cth => 128,
+            Task::Dox => 512,
+        }
+    }
+
+    /// Stable identifier.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Task::Cth => "cth",
+            Task::Dox => "dox",
+        }
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Task::Cth => "Call to harassment",
+            Task::Dox => "Doxing",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_applicability() {
+        assert!(Task::Cth.applies_to(Platform::Boards));
+        assert!(!Task::Cth.applies_to(Platform::Pastes));
+        assert!(!Task::Cth.applies_to(Platform::Blogs));
+        assert!(Task::Dox.applies_to(Platform::Pastes));
+        assert!(!Task::Dox.applies_to(Platform::Blogs));
+    }
+
+    #[test]
+    fn text_lengths_match_table3() {
+        assert_eq!(Task::Cth.text_length(), 128);
+        assert_eq!(Task::Dox.text_length(), 512);
+    }
+}

@@ -1,0 +1,297 @@
+//! Per-platform threshold selection (§5.5).
+//!
+//! The paper's procedure, reproduced step for step: start at `t = 0.5`,
+//! expert-annotate a sample above `t` to estimate precision; while the
+//! precision is too low to make manual annotation worthwhile, raise `t`
+//! and re-evaluate; once precision is sufficient, probe *lower* thresholds
+//! and keep the lowest one whose precision stays close to the higher one's
+//! ("as a way to ensure we were not risking recall"). The chat data set is
+//! split into Discord and Telegram with separate thresholds.
+
+use crate::task::Task;
+use incite_annotate::Annotator;
+use incite_corpus::{Corpus, DocId};
+use incite_taxonomy::Platform;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Parameters for the threshold search.
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdConfig {
+    /// Precision considered "sufficiently high" to stop raising `t`.
+    pub target_precision: f64,
+    /// Precision slack allowed when probing lower thresholds.
+    pub precision_slack: f64,
+    /// Sample size per precision estimate.
+    pub probe_sample: usize,
+    /// Candidate thresholds, ascending (the paper lands on values like
+    /// 0.5, 0.6, 0.7, 0.8, 0.9, 0.935).
+    pub candidates: [f64; 6],
+}
+
+impl Default for ThresholdConfig {
+    fn default() -> Self {
+        ThresholdConfig {
+            target_precision: 0.55,
+            precision_slack: 0.10,
+            probe_sample: 150,
+            candidates: [0.5, 0.6, 0.7, 0.8, 0.9, 0.935],
+        }
+    }
+}
+
+/// The outcome for one platform (a Table 4 row).
+#[derive(Debug, Clone, Serialize)]
+pub struct PlatformThreshold {
+    pub platform: Platform,
+    pub threshold: f64,
+    /// Documents above the threshold.
+    pub above_threshold: usize,
+    /// Documents expert-annotated (all of them when the set is small).
+    pub annotated: usize,
+    /// Confirmed true positives among the annotated.
+    pub true_positives: usize,
+    /// Whether every above-threshold document was annotated.
+    pub exhaustive: bool,
+    /// Ids of all documents above the threshold (for overlap analyses).
+    pub above_ids: Vec<DocId>,
+    /// Ids of the expert-confirmed true positives (the "annotated" set).
+    pub positive_ids: Vec<DocId>,
+}
+
+impl PlatformThreshold {
+    /// Annotation precision.
+    pub fn precision(&self) -> f64 {
+        if self.annotated == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / self.annotated as f64
+        }
+    }
+}
+
+/// Estimates precision above a threshold by expert-annotating a sample.
+fn probe_precision(
+    ids_above: &[DocId],
+    truth: &HashMap<DocId, bool>,
+    expert: &Annotator,
+    sample: usize,
+    rng: &mut StdRng,
+) -> f64 {
+    if ids_above.is_empty() {
+        return 0.0;
+    }
+    let mut pool: Vec<DocId> = ids_above.to_vec();
+    pool.shuffle(rng);
+    pool.truncate(sample);
+    let positive = pool
+        .iter()
+        .filter(|id| expert.annotate(*truth.get(id).unwrap_or(&false), rng))
+        .count();
+    positive as f64 / pool.len() as f64
+}
+
+/// Runs the §5.5 search for one platform and performs the final annotation
+/// pass at the selected threshold. `annotation_budget` is the maximum
+/// number of documents the experts annotate; when the above-threshold set
+/// fits inside it, annotation is exhaustive (the paper's ⋄/* rows).
+#[allow(clippy::too_many_arguments)]
+pub fn select_threshold(
+    corpus: &Corpus,
+    task: Task,
+    platform: Platform,
+    scores: &[(DocId, f32)],
+    expert: &Annotator,
+    config: ThresholdConfig,
+    annotation_budget: usize,
+    rng: &mut StdRng,
+) -> PlatformThreshold {
+    let truth: HashMap<DocId, bool> = corpus
+        .by_platform(platform)
+        .map(|d| (d.id, task.truth(d)))
+        .collect();
+    let platform_scores: Vec<(DocId, f32)> = scores
+        .iter()
+        .filter(|(id, _)| truth.contains_key(id))
+        .copied()
+        .collect();
+
+    let above = |t: f64| -> Vec<DocId> {
+        platform_scores
+            .iter()
+            .filter(|(_, s)| *s as f64 > t)
+            .map(|(id, _)| *id)
+            .collect()
+    };
+
+    // Phase 1: raise t from 0.5 until precision is sufficient (or we run
+    // out of candidates).
+    let mut chosen_idx = 0;
+    let mut chosen_precision = 0.0;
+    for (i, &t) in config.candidates.iter().enumerate() {
+        let ids = above(t);
+        let p = probe_precision(&ids, &truth, expert, config.probe_sample, rng);
+        chosen_idx = i;
+        chosen_precision = p;
+        if p >= config.target_precision {
+            break;
+        }
+    }
+
+    // Phase 2: probe lower thresholds; keep the lowest whose precision is
+    // within the slack of the chosen one (recall safety).
+    while chosen_idx > 0 {
+        let lower = config.candidates[chosen_idx - 1];
+        let ids = above(lower);
+        let p = probe_precision(&ids, &truth, expert, config.probe_sample, rng);
+        if p + config.precision_slack >= chosen_precision
+            && p >= config.target_precision - config.precision_slack
+        {
+            chosen_idx -= 1;
+            chosen_precision = p;
+        } else {
+            break;
+        }
+    }
+
+    let threshold = config.candidates[chosen_idx];
+    let ids_above = above(threshold);
+
+    // Final expert annotation pass.
+    let exhaustive = ids_above.len() <= annotation_budget;
+    let mut to_annotate = ids_above.clone();
+    if !exhaustive {
+        to_annotate.shuffle(rng);
+        to_annotate.truncate(annotation_budget);
+    }
+    let positive_ids: Vec<DocId> = to_annotate
+        .iter()
+        .filter(|id| expert.annotate(*truth.get(id).unwrap_or(&false), rng))
+        .copied()
+        .collect();
+
+    PlatformThreshold {
+        platform,
+        threshold,
+        above_threshold: ids_above.len(),
+        annotated: to_annotate.len(),
+        true_positives: positive_ids.len(),
+        exhaustive,
+        above_ids: ids_above,
+        positive_ids,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incite_corpus::{generate, CorpusConfig};
+    use rand::SeedableRng;
+
+    /// Synthetic scores where truth is recoverable: positives score high.
+    fn fake_scores(corpus: &Corpus, task: Task, noise: f32) -> Vec<(DocId, f32)> {
+        let mut rng = StdRng::seed_from_u64(1);
+        use rand::Rng;
+        corpus
+            .documents
+            .iter()
+            .map(|d| {
+                let base: f32 = if task.truth(d) { 0.9 } else { 0.2 };
+                let jitter: f32 = rng.gen_range(-noise..noise);
+                (d.id, (base + jitter).clamp(0.0, 1.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_scores_select_a_low_threshold() {
+        let corpus = generate(&CorpusConfig::tiny(3));
+        let scores = fake_scores(&corpus, Task::Dox, 0.05);
+        let expert = Annotator::oracle("e");
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = select_threshold(
+            &corpus,
+            Task::Dox,
+            Platform::Pastes,
+            &scores,
+            &expert,
+            ThresholdConfig::default(),
+            10_000,
+            &mut rng,
+        );
+        // Positives at ~0.9, negatives at ~0.2: t = 0.5 is already precise.
+        assert_eq!(out.threshold, 0.5);
+        assert!(out.precision() > 0.9, "precision {}", out.precision());
+        assert!(out.exhaustive);
+    }
+
+    #[test]
+    fn noisy_scores_push_threshold_up() {
+        let corpus = generate(&CorpusConfig::tiny(3));
+        // Heavy noise: negatives frequently score above 0.5.
+        let mut scores = fake_scores(&corpus, Task::Dox, 0.05);
+        use rand::Rng;
+        let mut jrng = StdRng::seed_from_u64(7);
+        for (id, s) in scores.iter_mut() {
+            let doc = corpus.documents.iter().find(|d| d.id == *id).unwrap();
+            if !doc.truth.is_dox && jrng.gen_bool(0.3) {
+                *s = jrng.gen_range(0.5..0.85);
+            }
+        }
+        let expert = Annotator::oracle("e");
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = select_threshold(
+            &corpus,
+            Task::Dox,
+            Platform::Pastes,
+            &scores,
+            &expert,
+            ThresholdConfig::default(),
+            10_000,
+            &mut rng,
+        );
+        assert!(out.threshold > 0.5, "threshold {}", out.threshold);
+    }
+
+    #[test]
+    fn budget_forces_sampled_annotation() {
+        let corpus = generate(&CorpusConfig::tiny(3));
+        let scores = fake_scores(&corpus, Task::Dox, 0.05);
+        let expert = Annotator::oracle("e");
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = select_threshold(
+            &corpus,
+            Task::Dox,
+            Platform::Pastes,
+            &scores,
+            &expert,
+            ThresholdConfig::default(),
+            10,
+            &mut rng,
+        );
+        assert!(!out.exhaustive);
+        assert_eq!(out.annotated, 10);
+        assert!(out.above_threshold > 10);
+    }
+
+    #[test]
+    fn empty_platform_yields_empty_row() {
+        let corpus = generate(&CorpusConfig::tiny(3));
+        let expert = Annotator::oracle("e");
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = select_threshold(
+            &corpus,
+            Task::Cth,
+            Platform::Pastes, // no CTH on pastes
+            &[],
+            &expert,
+            ThresholdConfig::default(),
+            100,
+            &mut rng,
+        );
+        assert_eq!(out.above_threshold, 0);
+        assert_eq!(out.true_positives, 0);
+    }
+}

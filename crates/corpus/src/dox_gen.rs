@@ -1,0 +1,254 @@
+//! Dox text generation.
+//!
+//! Produces the document shapes §7 and §8 describe: structured "drop"
+//! doxes on pastes and boards (header + labeled PII lines), shorter partial
+//! doxes in chat and Gab replies, and long-form blog doxes — far-left style
+//! (narration of the target's activities, rationale, then PII; The Torch /
+//! NoBlogs, §8.2) and Daily-Stormer style (narration, a contact handle, and
+//! a call to overload; §8.3).
+
+use crate::pii_gen::Identity;
+use incite_taxonomy::pii_kind::PiiSet;
+use incite_taxonomy::{Gender, PiiKind};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+fn pii_label(kind: PiiKind) -> &'static str {
+    match kind {
+        PiiKind::Address => "Address",
+        PiiKind::CreditCard => "CC",
+        PiiKind::Email => "Email",
+        PiiKind::Facebook => "Facebook",
+        PiiKind::Instagram => "Instagram",
+        PiiKind::Phone => "Phone",
+        PiiKind::Ssn => "SSN",
+        PiiKind::Twitter => "Twitter",
+        PiiKind::YouTube => "YouTube",
+    }
+}
+
+fn pronoun_line(gender: Gender, rng: &mut StdRng) -> Option<String> {
+    let lines: Vec<&str> = match gender {
+        Gender::Male => vec![
+            "he has been posting under this name for years, his main account is below",
+            "everything he runs is linked here, hold him accountable",
+        ],
+        Gender::Female => vec![
+            "she has been active on all of these, her accounts are below",
+            "everything she posts traces back to her, details follow",
+        ],
+        Gender::Unknown => return None,
+    };
+    Some(lines[rng.gen_range(0..lines.len())].to_string())
+}
+
+/// A structured dox "drop": header, optional pronoun narration, labeled PII
+/// lines, optional family/employer note (reputation flag).
+pub fn dox_text(
+    id: &Identity,
+    pii: PiiSet,
+    gender: Gender,
+    reputation_flag: bool,
+    rng: &mut StdRng,
+) -> String {
+    let mut lines = Vec::new();
+    lines.push(format!(
+        "==== dox drop: {} {} ====",
+        id.first_name, id.last_name
+    ));
+    if let Some(p) = pronoun_line(gender, rng) {
+        lines.push(p);
+    }
+    lines.push(format!("Name: {} {}", id.first_name, id.last_name));
+    for (i, kind) in pii.iter().enumerate() {
+        lines.push(format!("{}: {}", pii_label(kind), id.pii_text(kind, i)));
+    }
+    if reputation_flag {
+        let extras = [
+            format!("Employer: {} logistics co", id.last_name),
+            format!(
+                "Family: mother and brother live nearby, the {} family",
+                id.last_name
+            ),
+        ];
+        lines.push(extras[rng.gen_range(0..extras.len())].clone());
+    }
+    lines.push("know anything else? add below".to_string());
+    lines.join("\n")
+}
+
+/// A short partial dox (a reply sharing one or two identifiers), the shape
+/// common on boards/Gab (§7.2 "partial doxing information, such as an
+/// online profile, as a reply to a previous message").
+pub fn partial_dox_text(id: &Identity, pii: PiiSet, rng: &mut StdRng) -> String {
+    let openers = [
+        "found it:",
+        "this is the one:",
+        "confirmed:",
+        "same person:",
+    ];
+    let mut lines = vec![openers[rng.gen_range(0..openers.len())].to_string()];
+    for (i, kind) in pii.iter().enumerate() {
+        lines.push(id.pii_text(kind, i));
+    }
+    lines.join(" ")
+}
+
+/// Which blog register a blog dox is written in (§8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlogStyle {
+    /// The Torch / NoBlogs: narration + extensive PII + community alert.
+    Antifascist,
+    /// Daily Stormer: narration + contact handle + call to overload.
+    DailyStormer,
+}
+
+/// A long-form blog dox in one of the two observed registers. Returns the
+/// text plus the PII kinds actually embedded (the Daily Stormer register
+/// deliberately exposes only a single contact channel, §8.3).
+pub fn blog_dox_text(
+    id: &Identity,
+    pii: PiiSet,
+    style: BlogStyle,
+    include_overload_call: bool,
+    rng: &mut StdRng,
+) -> (String, PiiSet) {
+    let name = format!("{} {}", id.first_name, id.last_name);
+    match style {
+        BlogStyle::Antifascist => {
+            let mut paras = vec![
+                format!(
+                    "We have identified {name} as a participant in last month's rally. \
+                     Photos from the event match {}'s public profiles, and leaked chat \
+                     logs confirm the connection.",
+                    id.first_name
+                ),
+                format!(
+                    "We are publishing this so the community can be alerted to the threat. \
+                     Neighbors, landlords and employers deserve to know who {name} is."
+                ),
+            ];
+            let mut pii_lines = vec![format!("Name: {name}")];
+            for (i, kind) in pii.iter().enumerate() {
+                pii_lines.push(format!("{}: {}", pii_label(kind), id.pii_text(kind, i)));
+            }
+            paras.push(pii_lines.join("\n"));
+            paras.push(
+                "If you have additional information about this individual, send it in.".to_string(),
+            );
+            (paras.join("\n\n"), pii)
+        }
+        BlogStyle::DailyStormer => {
+            let mut paras = vec![format!(
+                "Another day, another enemy of the people. {name} decided to run that mouth \
+                 again, and the internet never forgets. Consider this a dox."
+            )];
+            // Stormer doxes carry *less* PII: typically one contact channel.
+            let contact = pii
+                .iter()
+                .find(|k| k.is_osn_profile() || *k == PiiKind::Email)
+                .unwrap_or(PiiKind::Email);
+            paras.push(format!(
+                "You can reach {name} here: {}",
+                id.pii_text(contact, rng.gen_range(0..2))
+            ));
+            if include_overload_call {
+                let calls = [
+                    "You know what to do. Flood it until the account goes dark.",
+                    "Spam it. Raid it. Make it unusable.",
+                ];
+                paras.push(calls[rng.gen_range(0..calls.len())].to_string());
+            }
+            let embedded: PiiSet = [contact].into_iter().collect();
+            (paras.join("\n\n"), embedded)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pii_gen::identity;
+    use rand::SeedableRng;
+
+    fn setup() -> (Identity, StdRng) {
+        let mut r = StdRng::seed_from_u64(31);
+        let id = identity(&mut r);
+        (id, r)
+    }
+
+    fn all_pii() -> PiiSet {
+        PiiKind::ALL.into_iter().collect()
+    }
+
+    #[test]
+    fn full_dox_contains_every_planted_kind() {
+        let (id, mut r) = setup();
+        let text = dox_text(&id, all_pii(), Gender::Male, true, &mut r);
+        assert!(text.contains("Name:"));
+        assert!(text.contains("Phone:"));
+        assert!(text.contains("SSN:"));
+        assert!(text.contains("Employer:") || text.contains("Family:"));
+        assert!(text.contains(&id.email));
+    }
+
+    #[test]
+    fn reputation_flag_controls_family_employer_lines() {
+        let (id, mut r) = setup();
+        let without = dox_text(&id, all_pii(), Gender::Unknown, false, &mut r);
+        assert!(!without.contains("Employer:") && !without.contains("Family:"));
+    }
+
+    #[test]
+    fn pronoun_lines_follow_gender() {
+        let (id, mut r) = setup();
+        let male = dox_text(&id, all_pii(), Gender::Male, false, &mut r);
+        assert!(male.contains(" he ") || male.contains("he has"), "{male}");
+        let unknown = dox_text(&id, all_pii(), Gender::Unknown, false, &mut r);
+        assert!(!unknown.contains("he has") && !unknown.contains("she has"));
+    }
+
+    #[test]
+    fn partial_dox_is_short() {
+        let (id, mut r) = setup();
+        let pii: PiiSet = [PiiKind::Twitter].into_iter().collect();
+        let partial = partial_dox_text(&id, pii, &mut r);
+        let full = dox_text(&id, all_pii(), Gender::Male, true, &mut r);
+        assert!(partial.len() < full.len());
+        assert!(partial.contains(&id.twitter));
+    }
+
+    #[test]
+    fn antifascist_blog_has_narration_and_pii() {
+        let (id, mut r) = setup();
+        let (text, embedded) = blog_dox_text(&id, all_pii(), BlogStyle::Antifascist, false, &mut r);
+        assert_eq!(embedded, all_pii());
+        assert!(text.contains("rally"));
+        assert!(text.contains("Name:"));
+        assert!(text.contains("\n\n"), "long form expected");
+        assert!(text.to_lowercase().contains("employers"));
+    }
+
+    #[test]
+    fn stormer_blog_has_contact_and_overload_call() {
+        let (id, mut r) = setup();
+        let pii: PiiSet = [PiiKind::Twitter, PiiKind::Email].into_iter().collect();
+        let (text, embedded) = blog_dox_text(&id, pii, BlogStyle::DailyStormer, true, &mut r);
+        assert_eq!(embedded.len(), 1, "stormer exposes one contact");
+        assert!(text.contains("reach"));
+        assert!(
+            text.contains("Flood") || text.contains("Spam"),
+            "overload call missing: {text}"
+        );
+        // Only one contact channel, not the full drop format.
+        assert!(!text.contains("SSN:"));
+    }
+
+    #[test]
+    fn stormer_without_call_omits_overload_language() {
+        let (id, mut r) = setup();
+        let pii: PiiSet = [PiiKind::Email].into_iter().collect();
+        let (text, _) = blog_dox_text(&id, pii, BlogStyle::DailyStormer, false, &mut r);
+        assert!(!text.contains("Flood") && !text.contains("Raid"));
+    }
+}

@@ -1,0 +1,83 @@
+//! JSONL corpus import/export.
+//!
+//! The third-party crawlers in the paper deliver line-oriented records; this
+//! module provides the same interchange shape so generated corpora can be
+//! persisted, diffed and re-loaded without regeneration.
+
+use crate::document::Document;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+/// Writes documents as one JSON object per line.
+pub fn write_jsonl<W: Write>(writer: W, docs: &[Document]) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for doc in docs {
+        serde_json::to_writer(&mut w, doc)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        w.write_all(b"\n")?;
+    }
+    w.flush()
+}
+
+/// Reads documents from a JSONL stream. Blank lines are skipped; a malformed
+/// line aborts with an error naming its line number.
+pub fn read_jsonl<R: Read>(reader: R) -> io::Result<Vec<Document>> {
+    let mut docs = Vec::new();
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc: Document = serde_json::from_str(&line).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
+        })?;
+        docs.push(doc);
+    }
+    Ok(docs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CorpusConfig;
+    use crate::generator::generate;
+
+    #[test]
+    fn roundtrip_preserves_documents() {
+        let corpus = generate(&CorpusConfig::tiny(123));
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &corpus.documents).unwrap();
+        let back = read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), corpus.len());
+        for (a, b) in corpus.documents.iter().zip(&back) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.text, b.text);
+            assert_eq!(a.truth, b.truth);
+        }
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let corpus = generate(&CorpusConfig::tiny(5));
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &corpus.documents[..3]).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let back = read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let data = b"{\"not\": \"a document\"}\n";
+        let err = read_jsonl(&data[..]).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn empty_input_is_empty_corpus() {
+        let docs = read_jsonl(&b""[..]).unwrap();
+        assert!(docs.is_empty());
+    }
+}

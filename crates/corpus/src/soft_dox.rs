@@ -1,0 +1,105 @@
+//! "Soft" doxes: documents that expose a target without any of the twelve
+//! extractable PII families.
+//!
+//! §7.2: "more than 50 % of the Discord samples did not contain any harm
+//! risk indicators. Manual analysis showed that doxes in this data set
+//! included other types of PII not included in our extraction pipeline,
+//! such as birthday, age or nicknames." This module generates exactly that
+//! shape — chat-register doxes built from nicknames, ages, birthdays,
+//! school/guild affiliations — so the Figure 2 Discord observation
+//! reproduces.
+
+use crate::pii_gen::Identity;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const MONTHS: &[&str] = &[
+    "january",
+    "february",
+    "march",
+    "april",
+    "may",
+    "june",
+    "july",
+    "august",
+    "september",
+    "october",
+    "november",
+    "december",
+];
+
+const AFFILIATIONS: &[&str] = &[
+    "plays on the midnight server",
+    "mods the frog discord",
+    "raids with the iron guild",
+    "used to admin the meme channel",
+    "runs the vc every friday",
+    "is in the eu timezone crew",
+];
+
+/// A chat-register dox exposing only non-extractable personal details.
+pub fn soft_dox_text(id: &Identity, rng: &mut StdRng) -> String {
+    let nickname = format!(
+        "{}{}",
+        &id.first_name[..1].to_uppercase(),
+        &id.first_name[1..]
+    );
+    let age = rng.gen_range(16..40);
+    let month = MONTHS[rng.gen_range(0..MONTHS.len())];
+    let day = rng.gen_range(1..29);
+    let affiliation = AFFILIATIONS[rng.gen_range(0..AFFILIATIONS.len())];
+    let lines = [
+        format!(
+            "so about {nickname} aka {} {}: real age is {age}, birthday {month} {day}",
+            id.first_name, id.last_name
+        ),
+        format!(
+            "{} {affiliation}, everyone should know who they are dealing with",
+            nickname
+        ),
+        format!(
+            "goes by {nickname}, {}_{} on the old server, {age} years old",
+            id.first_name, id.last_name
+        ),
+    ];
+    lines[rng.gen_range(0..lines.len())].clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pii_gen::identity;
+    use rand::SeedableRng;
+
+    #[test]
+    fn soft_dox_names_the_target() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let id = identity(&mut rng);
+        let text = soft_dox_text(&id, &mut rng);
+        assert!(
+            text.contains(&id.first_name) || text.contains(&id.last_name),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn soft_dox_has_no_extractable_pii_markers() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let id = identity(&mut rng);
+        for _ in 0..50 {
+            let text = soft_dox_text(&id, &mut rng);
+            assert!(!text.contains("555-01"), "{text}");
+            assert!(!text.contains("@example"), "{text}");
+            assert!(!text.contains("facebook"), "{text}");
+        }
+    }
+
+    #[test]
+    fn soft_dox_varies() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let id = identity(&mut rng);
+        let texts: std::collections::HashSet<String> =
+            (0..30).map(|_| soft_dox_text(&id, &mut rng)).collect();
+        assert!(texts.len() > 5);
+    }
+}

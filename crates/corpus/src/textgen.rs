@@ -1,0 +1,242 @@
+//! Benign platform chatter and hard negatives.
+//!
+//! The benign generator produces innocuous discussion in each platform's
+//! register (board threads, chat one-liners, Gab micro-posts, paste bodies,
+//! long-form blog posts). A configurable fraction are *hard negatives*:
+//! civic mobilization ("contact your local representative"), moderation
+//! chatter and SQL-dump pastes — the false-positive families §5.4 calls out.
+
+use crate::markov::MarkovChain;
+use incite_taxonomy::Platform;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::OnceLock;
+
+/// Shared default Markov chain (built once; the chain itself is immutable).
+fn chain() -> &'static MarkovChain {
+    static CHAIN: OnceLock<MarkovChain> = OnceLock::new();
+    CHAIN.get_or_init(MarkovChain::default)
+}
+
+const TOPICS: &[&str] = &[
+    "the new game patch",
+    "that music drop",
+    "the football final",
+    "this keyboard build",
+    "the season finale",
+    "my sourdough starter",
+    "the hiking trail",
+    "that art stream",
+    "the retro console",
+    "the comic con panel",
+    "this coffee roast",
+    "the homebrew setup",
+    "the model train layout",
+    "the photography contest",
+    "that indie album",
+];
+
+const OPINIONS: &[&str] = &[
+    "is honestly great",
+    "was kind of disappointing",
+    "deserves more attention",
+    "surprised me this week",
+    "keeps getting better",
+    "needs a rework",
+    "is underrated",
+    "made my day",
+    "is overhyped",
+    "aged really well",
+];
+
+const FOLLOWUPS: &[&str] = &[
+    "anyone else following this?",
+    "thoughts?",
+    "link in the usual place.",
+    "discussion welcome.",
+    "been at it all week.",
+    "cannot recommend enough.",
+    "first try went badly, second was fine.",
+    "will post an update tomorrow.",
+    "screenshots when i get home.",
+    "source: trust me.",
+];
+
+const CHAT_SNIPPETS: &[&str] = &[
+    "gm everyone",
+    "who is online tonight",
+    "that stream was wild",
+    "push the update already",
+    "anyone got the notes from yesterday",
+    "lol same",
+    "brb food",
+    "new emote when",
+    "voice chat in five",
+    "good run today",
+    "the server lagged again",
+    "gg all",
+];
+
+const CIVIC: &[&str] = &[
+    "we need to contact our local representative about the pothole situation",
+    "we should all email the city council to support the new bike lanes",
+    "lets everyone sign the petition for longer library hours",
+    "we have to call our senators about the funding bill, all of us",
+    "we will show up to the town hall and make our voices heard",
+    "everyone should report outages to the utility company hotline",
+];
+
+const MODERATION: &[&str] = &[
+    "please report spam posts to the mods so we can keep the board clean",
+    "if you see rule breaking content flag it and move on",
+    "reminder to report phishing links to the admins",
+    "mods please ban the crypto bots, report them in the meta thread",
+];
+
+const PASTE_BODIES: &[&str] = &[
+    "#!/bin/sh\nset -e\nmake build\nmake test\necho done",
+    "def main():\n    for i in range(10):\n        print(i)\n\nmain()",
+    "Exception in thread main java.lang.NullPointerException\n    at App.run(App.java:42)",
+    "server {\n  listen 80;\n  location / { proxy_pass http://127.0.0.1:3000; }\n}",
+    "TODO list:\n- refactor parser\n- add tests\n- update readme",
+];
+
+const SQL_DUMP: &str = "INSERT INTO `users` VALUES (1,'u1','x'),(2,'u2','y'),(3,'u3','z');\nINSERT INTO `orders` VALUES (10,1,'pending'),(11,2,'shipped');";
+
+/// Generates one benign document body for a platform: a mixture of
+/// register templates and Markov-chain sentences (the lexical-diversity
+/// layer, so classifiers cannot simply memorize templates).
+pub fn benign(platform: Platform, rng: &mut StdRng) -> String {
+    let topic = TOPICS[rng.gen_range(0..TOPICS.len())];
+    let opinion = OPINIONS[rng.gen_range(0..OPINIONS.len())];
+    let follow = FOLLOWUPS[rng.gen_range(0..FOLLOWUPS.len())];
+    match platform {
+        Platform::Boards => {
+            if rng.gen_bool(0.4) {
+                format!("{}. {follow}", chain().sentence(18, rng))
+            } else {
+                format!("{topic} {opinion}. {follow}")
+            }
+        }
+        Platform::Discord | Platform::Telegram => {
+            let r: f64 = rng.gen();
+            if r < 0.4 {
+                CHAT_SNIPPETS[rng.gen_range(0..CHAT_SNIPPETS.len())].to_string()
+            } else if r < 0.7 {
+                chain().sentence(10, rng)
+            } else {
+                format!("{topic} {opinion}")
+            }
+        }
+        Platform::Gab => {
+            if rng.gen_bool(0.4) {
+                format!("{}. {follow}", chain().sentence(16, rng))
+            } else {
+                format!("{topic} {opinion}. {follow}")
+            }
+        }
+        Platform::Pastes => {
+            let body = PASTE_BODIES[rng.gen_range(0..PASTE_BODIES.len())];
+            format!("{body}\n# {topic} {opinion}")
+        }
+        Platform::Blogs => {
+            let mut paras = Vec::new();
+            for _ in 0..rng.gen_range(3..7) {
+                let t = TOPICS[rng.gen_range(0..TOPICS.len())];
+                let o = OPINIONS[rng.gen_range(0..OPINIONS.len())];
+                let f = FOLLOWUPS[rng.gen_range(0..FOLLOWUPS.len())];
+                if rng.gen_bool(0.5) {
+                    paras.push(format!(
+                        "Writing again about {t}, which {o}. After some reflection, {f}"
+                    ));
+                } else {
+                    paras.push(format!(
+                        "{}. {}. {f}",
+                        chain().sentence(20, rng),
+                        chain().sentence(16, rng)
+                    ));
+                }
+            }
+            paras.join("\n\n")
+        }
+    }
+}
+
+/// Generates one hard negative: benign text that shares surface features
+/// with calls to harassment or doxes.
+pub fn hard_negative(platform: Platform, rng: &mut StdRng) -> String {
+    match platform {
+        Platform::Pastes => {
+            // Database-dump-looking paste; the paper explicitly excludes
+            // these from the dox category (§4).
+            format!("-- db export {}\n{}", rng.gen_range(1..999), SQL_DUMP)
+        }
+        _ => {
+            if rng.gen_bool(0.6) {
+                CIVIC[rng.gen_range(0..CIVIC.len())].to_string()
+            } else {
+                MODERATION[rng.gen_range(0..MODERATION.len())].to_string()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn benign_is_nonempty_for_all_platforms() {
+        let mut r = rng();
+        for p in Platform::ALL {
+            for _ in 0..20 {
+                assert!(!benign(p, &mut r).trim().is_empty(), "{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn blogs_are_long_form() {
+        let mut r = rng();
+        let blog = benign(Platform::Blogs, &mut r);
+        let chat = benign(Platform::Discord, &mut r);
+        assert!(blog.len() > chat.len() * 2);
+        assert!(blog.contains("\n\n"));
+    }
+
+    #[test]
+    fn hard_negatives_use_mobilizing_language() {
+        let mut r = rng();
+        let found = (0..50)
+            .map(|_| hard_negative(Platform::Boards, &mut r))
+            .any(|t| t.contains("we need to") || t.contains("we should") || t.contains("report"));
+        assert!(found);
+    }
+
+    #[test]
+    fn paste_hard_negatives_look_like_dumps() {
+        let mut r = rng();
+        let t = hard_negative(Platform::Pastes, &mut r);
+        assert!(t.contains("INSERT INTO"));
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let a = benign(Platform::Gab, &mut StdRng::seed_from_u64(1));
+        let b = benign(Platform::Gab, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn benign_text_varies() {
+        let mut r = rng();
+        let texts: std::collections::HashSet<String> =
+            (0..100).map(|_| benign(Platform::Boards, &mut r)).collect();
+        assert!(texts.len() > 50, "only {} distinct texts", texts.len());
+    }
+}

@@ -1,0 +1,280 @@
+//! Document → sparse-feature pipeline.
+//!
+//! Mirrors the paper's preprocessing (§5.2): normalize, reduce long
+//! documents with a span-sampling strategy against the max-length
+//! hyperparameter, tokenize with punctuation splitting, segment into
+//! WordPiece subwords (or plain words / char n-grams for the feature-space
+//! ablation), extract n-grams, and hash into a fixed-dimensional space.
+
+use crate::sparse::{merge, SparseVec};
+use incite_textkit::{
+    char_ngrams, normalize, sample_spans, tokenize, FeatureHasher, SpanStrategy, SplitMix64,
+    TokenKind, WordPieceEncoder, WordPieceTrainer,
+};
+
+/// Which token stream feeds the n-gram extractor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FeatureMode {
+    /// Plain word unigrams + bigrams.
+    Word,
+    /// WordPiece subword unigrams + bigrams (the pipeline default,
+    /// mirroring the paper's tokenization).
+    Subword,
+    /// Character 3–5-grams.
+    Char,
+}
+
+/// Featurizer configuration.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FeaturizerConfig {
+    /// Max text length in characters — the Table 3 hyperparameter
+    /// (128 for CTH, 512 for dox).
+    pub max_len: usize,
+    /// Maximum number of spans sampled per document.
+    pub max_spans: usize,
+    /// Long-document strategy (§5.2); random non-overlapping by default.
+    pub strategy: SpanStrategy,
+    /// Token stream choice.
+    pub mode: FeatureMode,
+    /// Feature-hash dimensionality in bits (2^bits slots).
+    pub hash_bits: u32,
+    /// WordPiece vocabulary size (only used in `Subword` mode).
+    pub vocab_size: usize,
+    /// Seed for span sampling.
+    pub seed: u64,
+}
+
+impl Default for FeaturizerConfig {
+    fn default() -> Self {
+        FeaturizerConfig {
+            max_len: 512,
+            max_spans: 4,
+            strategy: SpanStrategy::RandomNonOverlapping,
+            mode: FeatureMode::Subword,
+            hash_bits: 18,
+            vocab_size: 4096,
+            seed: 0x1ce_bee5,
+        }
+    }
+}
+
+/// A fitted featurizer. In `Subword` mode it owns a trained WordPiece
+/// encoder; `Word`/`Char` modes are stateless.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Featurizer {
+    config: FeaturizerConfig,
+    hasher: FeatureHasher,
+    encoder: Option<WordPieceEncoder>,
+}
+
+impl Featurizer {
+    /// Fits a featurizer. `corpus_sample` trains the WordPiece vocabulary in
+    /// `Subword` mode and is ignored otherwise.
+    pub fn fit<'a, I>(config: FeaturizerConfig, corpus_sample: I) -> Self
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let hasher = FeatureHasher::new(config.hash_bits);
+        let encoder = if config.mode == FeatureMode::Subword {
+            let trainer = WordPieceTrainer::new(config.vocab_size);
+            let mut words: Vec<String> = Vec::new();
+            for doc in corpus_sample {
+                let norm = normalize(doc);
+                for tok in tokenize(&norm) {
+                    if tok.kind != TokenKind::Punct {
+                        words.push(tok.text.to_string());
+                    }
+                }
+            }
+            Some(WordPieceEncoder::new(
+                trainer.train(words.iter().map(|s| s.as_str())),
+            ))
+        } else {
+            None
+        };
+        Featurizer {
+            config,
+            hasher,
+            encoder,
+        }
+    }
+
+    /// Configuration access.
+    pub fn config(&self) -> &FeaturizerConfig {
+        &self.config
+    }
+
+    /// Number of feature dimensions.
+    pub fn dimensions(&self) -> usize {
+        self.hasher.dimensions()
+    }
+
+    /// Featurizes one document. Deterministic: the span-sampling RNG is
+    /// seeded from the config seed and a hash of the document.
+    pub fn features(&self, text: &str) -> SparseVec {
+        let norm = normalize(text);
+        let doc_hash = fnv(norm.as_bytes());
+        let mut rng = SplitMix64::new(self.config.seed ^ doc_hash);
+        let spans = sample_spans(
+            &norm,
+            self.config.max_len,
+            self.config.max_spans,
+            self.config.strategy,
+            &mut rng,
+        );
+        let mut acc: SparseVec = Vec::new();
+        for span in spans {
+            let span_feats = self.span_features(span);
+            acc = merge(&acc, &span_feats);
+        }
+        // L2 normalize the combined vector so documents of different span
+        // counts are comparable.
+        let n: f32 = acc.iter().map(|(_, v)| v * v).sum::<f32>().sqrt();
+        if n > 0.0 {
+            for (_, v) in &mut acc {
+                *v /= n;
+            }
+        }
+        acc
+    }
+
+    fn span_features(&self, span: &str) -> SparseVec {
+        let mut grams: Vec<String> = Vec::new();
+        match self.config.mode {
+            FeatureMode::Word => {
+                let words: Vec<String> = tokenize(span)
+                    .into_iter()
+                    .filter(|t| t.kind != TokenKind::Punct)
+                    .map(|t| t.text.to_string())
+                    .collect();
+                push_ngrams(&mut grams, &words);
+            }
+            FeatureMode::Subword => {
+                let encoder = self.encoder.as_ref().expect("subword mode has encoder");
+                let mut pieces: Vec<String> = Vec::new();
+                for tok in tokenize(span) {
+                    if tok.kind == TokenKind::Punct {
+                        continue;
+                    }
+                    for id in encoder.encode_word(tok.text) {
+                        pieces.push(format!("p{id}"));
+                    }
+                }
+                push_ngrams(&mut grams, &pieces);
+            }
+            FeatureMode::Char => {
+                for n in 3..=5 {
+                    for g in char_ngrams(span, n) {
+                        grams.push(format!("c{n}|{g}"));
+                    }
+                }
+            }
+        }
+        self.hasher
+            .hash_features(grams.iter().map(|s| s.as_str()), false)
+    }
+}
+
+fn push_ngrams(grams: &mut Vec<String>, units: &[String]) {
+    for u in units {
+        grams.push(format!("1|{u}"));
+    }
+    for w in units.windows(2) {
+        grams.push(format!("2|{} {}", w[0], w[1]));
+    }
+}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_corpus() -> Vec<&'static str> {
+        vec![
+            "we need to report him to the platform",
+            "lets mass flag her account",
+            "post his address and phone number",
+            "raid the stream tonight",
+        ]
+    }
+
+    fn fit(mode: FeatureMode) -> Featurizer {
+        let config = FeaturizerConfig {
+            mode,
+            hash_bits: 14,
+            vocab_size: 512,
+            ..Default::default()
+        };
+        Featurizer::fit(config, sample_corpus())
+    }
+
+    #[test]
+    fn features_are_deterministic() {
+        let f = fit(FeatureMode::Subword);
+        let text = "we need to report him right now, spread the word";
+        assert_eq!(f.features(text), f.features(text));
+    }
+
+    #[test]
+    fn features_are_l2_normalized() {
+        let f = fit(FeatureMode::Word);
+        let v = f.features("report report report flag flag");
+        let norm: f32 = v.iter().map(|(_, x)| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn different_documents_differ() {
+        let f = fit(FeatureMode::Word);
+        assert_ne!(f.features("report him"), f.features("ignore her"));
+    }
+
+    #[test]
+    fn empty_document_is_empty_vector() {
+        for mode in [FeatureMode::Word, FeatureMode::Subword, FeatureMode::Char] {
+            let f = fit(mode);
+            assert!(f.features("").is_empty(), "{mode:?}");
+            assert!(f.features("   \n\t ").is_empty(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn indices_within_dimensions() {
+        let f = fit(FeatureMode::Char);
+        let v = f.features("mass flagging campaign against the account");
+        assert!(!v.is_empty());
+        for (i, _) in v {
+            assert!((i as usize) < f.dimensions());
+        }
+    }
+
+    #[test]
+    fn long_documents_are_reduced_not_dropped() {
+        let f = fit(FeatureMode::Word);
+        let long = "we need to report him ".repeat(500);
+        let v = f.features(&long);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn case_is_normalized_away() {
+        let f = fit(FeatureMode::Word);
+        assert_eq!(f.features("REPORT Him"), f.features("report him"));
+    }
+
+    #[test]
+    fn subword_mode_generalizes_to_unseen_forms() {
+        let f = fit(FeatureMode::Subword);
+        // "reporting" unseen; shares subword pieces with "report".
+        let a = f.features("reporting");
+        assert!(!a.is_empty());
+    }
+}

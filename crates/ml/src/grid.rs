@@ -1,0 +1,158 @@
+//! Hyperparameter grid search.
+//!
+//! §5.4: "We withheld evaluation sets of data annotations to use for
+//! hyperparameter tuning and to optimize our classifiers' parameters for
+//! better AUC-ROC scores … the length parameter is selected and fixed for
+//! training/testing, thus we hyperparameter optimized it to determine the
+//! best text length per task." This module sweeps (text length × learning
+//! rate × positive weight) and scores each point on a held-out set.
+
+use crate::featurize::{FeatureMode, FeaturizerConfig};
+use crate::logreg::TrainConfig;
+use crate::model::TextClassifier;
+use incite_textkit::SpanStrategy;
+
+/// One grid point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridPoint {
+    /// Max text length in characters (the Table 3 hyperparameter).
+    pub text_length: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// Positive-class gradient weight.
+    pub positive_weight: f32,
+}
+
+/// One evaluated grid point.
+#[derive(Debug, Clone)]
+pub struct GridResult {
+    pub point: GridPoint,
+    /// AUC-ROC on the held-out set (`None` if degenerate).
+    pub auc: Option<f64>,
+    /// Positive-class F1 at threshold 0.5.
+    pub positive_f1: f64,
+    /// Macro-averaged F1.
+    pub macro_f1: f64,
+}
+
+/// The default grid: text lengths the paper swept plus standard SGD knobs.
+pub fn default_grid() -> Vec<GridPoint> {
+    let mut grid = Vec::new();
+    for &text_length in &[128usize, 256, 512] {
+        for &learning_rate in &[0.1f32, 0.3] {
+            for &positive_weight in &[1.0f32, 2.0] {
+                grid.push(GridPoint {
+                    text_length,
+                    learning_rate,
+                    positive_weight,
+                });
+            }
+        }
+    }
+    grid
+}
+
+/// Trains and evaluates each grid point, returning results sorted by AUC
+/// (best first; `None` AUCs sort last).
+pub fn grid_search(
+    train: &[(String, bool)],
+    dev: &[(String, bool)],
+    grid: &[GridPoint],
+    mode: FeatureMode,
+    seed: u64,
+) -> Vec<GridResult> {
+    let mut results: Vec<GridResult> = grid
+        .iter()
+        .map(|&point| {
+            let fc = FeaturizerConfig {
+                max_len: point.text_length,
+                mode,
+                strategy: SpanStrategy::RandomNonOverlapping,
+                seed,
+                ..Default::default()
+            };
+            let tc = TrainConfig {
+                learning_rate: point.learning_rate,
+                positive_weight: point.positive_weight,
+                seed,
+                ..Default::default()
+            };
+            let clf = TextClassifier::train(train.iter().map(|(t, l)| (t.as_str(), *l)), fc, tc);
+            let report = clf.evaluate(dev.iter().map(|(t, l)| (t.as_str(), *l)), 0.5);
+            GridResult {
+                point,
+                auc: report.auc,
+                positive_f1: report.metrics.positive.f1,
+                macro_f1: report.metrics.macro_avg.f1,
+            }
+        })
+        .collect();
+    results.sort_by(|a, b| {
+        let ka = a.auc.unwrap_or(-1.0);
+        let kb = b.auc.unwrap_or(-1.0);
+        kb.partial_cmp(&ka).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus(n: usize) -> Vec<(String, bool)> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            out.push((
+                format!("we need to mass report account number {i} right now"),
+                true,
+            ));
+            out.push((
+                format!("had a great day at the park with friend {i}"),
+                false,
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn default_grid_has_twelve_points() {
+        assert_eq!(default_grid().len(), 12);
+    }
+
+    #[test]
+    fn grid_search_orders_by_auc() {
+        let train = corpus(20);
+        let dev = corpus(8);
+        let grid = vec![
+            GridPoint {
+                text_length: 128,
+                learning_rate: 0.3,
+                positive_weight: 2.0,
+            },
+            GridPoint {
+                text_length: 512,
+                learning_rate: 0.1,
+                positive_weight: 1.0,
+            },
+        ];
+        let results = grid_search(&train, &dev, &grid, FeatureMode::Word, 1);
+        assert_eq!(results.len(), 2);
+        assert!(results[0].auc.unwrap_or(0.0) >= results[1].auc.unwrap_or(0.0));
+        // Separable toy data: best point should be excellent.
+        assert!(results[0].auc.unwrap() > 0.95);
+        assert!(results[0].positive_f1 > 0.8);
+    }
+
+    #[test]
+    fn degenerate_dev_set_yields_none_auc() {
+        let train = corpus(10);
+        let dev: Vec<(String, bool)> = vec![("only one class here".to_string(), false)];
+        let grid = vec![GridPoint {
+            text_length: 128,
+            learning_rate: 0.3,
+            positive_weight: 1.0,
+        }];
+        let results = grid_search(&train, &dev, &grid, FeatureMode::Word, 1);
+        assert!(results[0].auc.is_none());
+    }
+}

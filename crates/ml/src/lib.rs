@@ -1,0 +1,36 @@
+//! # incite-ml
+//!
+//! Machine-learning substrate: the linear text-classification stack that
+//! stands in for the paper's distilBERT fine-tuning (see DESIGN.md §2 for
+//! the substitution argument). It provides:
+//!
+//! * [`sparse`] — sparse feature vectors and dense-weight operations.
+//! * [`featurize`] — the document → features pipeline: normalization, span
+//!   sampling (§5.2), tokenization, optional WordPiece subwords, n-grams and
+//!   feature hashing.
+//! * [`logreg`] — L2-regularized logistic regression trained with AdaGrad
+//!   SGD; outputs calibrated probabilities in `[0, 1]`, which is what the
+//!   threshold-selection procedure of §5.5 consumes.
+//! * [`naive_bayes`] — a multinomial naive Bayes baseline.
+//! * [`data`] — labeled datasets, stratified train/test splits, k-fold CV.
+//! * [`model`] — [`model::TextClassifier`], the end-to-end text-in,
+//!   probability-out API the pipeline uses.
+//! * [`grid`] — hyperparameter grid search (the Table 3 text-length sweep).
+
+pub mod data;
+pub mod featurize;
+pub mod grid;
+pub mod logreg;
+pub mod model;
+pub mod naive_bayes;
+pub mod persist;
+pub mod sparse;
+
+pub use data::{kfold, train_test_split, Dataset, Example};
+pub use featurize::{FeatureMode, Featurizer, FeaturizerConfig};
+pub use grid::{grid_search, GridPoint, GridResult};
+pub use logreg::{LogisticRegression, TrainConfig};
+pub use model::TextClassifier;
+pub use naive_bayes::NaiveBayes;
+pub use persist::{load_model, save_model, PersistError};
+pub use sparse::SparseVec;

@@ -1,0 +1,201 @@
+//! The end-to-end text classifier: featurizer + linear model.
+//!
+//! This is the unit the filtering pipeline trains, retrains during active
+//! learning, and applies to the full corpus — the role the fine-tuned
+//! distilBERT plays in Figure 1.
+
+use crate::data::Dataset;
+use crate::featurize::{Featurizer, FeaturizerConfig};
+use crate::logreg::{LogisticRegression, TrainConfig};
+use incite_stats::classify::{auc_roc, BinaryConfusion, MultiMetrics};
+
+/// A text-in, probability-out binary classifier.
+///
+/// ```
+/// use incite_ml::{FeatureMode, FeaturizerConfig, TextClassifier, TrainConfig};
+///
+/// let labeled = vec![
+///     ("we need to mass report his account", true),
+///     ("everyone flag her videos now", true),
+///     ("lovely weather for a picnic", false),
+///     ("the new patch notes look good", false),
+/// ];
+/// let clf = TextClassifier::train(
+///     labeled,
+///     FeaturizerConfig { mode: FeatureMode::Word, hash_bits: 12, ..Default::default() },
+///     TrainConfig::default(),
+/// );
+/// assert!(clf.score("report his account to the platform") > clf.score("picnic weather"));
+/// ```
+/// A text-in, probability-out binary classifier.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TextClassifier {
+    featurizer: Featurizer,
+    model: LogisticRegression,
+}
+
+impl TextClassifier {
+    /// Trains from labeled raw documents. The WordPiece vocabulary (in
+    /// subword mode) is fitted on the training texts themselves, mirroring
+    /// the paper's pre-training-on-corpus step.
+    pub fn train<'a, I>(
+        labeled: I,
+        featurizer_config: FeaturizerConfig,
+        train_config: TrainConfig,
+    ) -> Self
+    where
+        I: IntoIterator<Item = (&'a str, bool)> + Clone,
+    {
+        let featurizer = Featurizer::fit(
+            featurizer_config,
+            labeled.clone().into_iter().map(|(text, _)| text),
+        );
+        let mut data = Dataset::new();
+        for (text, label) in labeled {
+            data.push(featurizer.features(text), label);
+        }
+        let model = LogisticRegression::train(&data, featurizer.dimensions(), train_config);
+        TextClassifier { featurizer, model }
+    }
+
+    /// Retrains the linear model on new labels while keeping the fitted
+    /// featurizer — one active-learning iteration (§5.3).
+    pub fn retrain<'a, I>(&mut self, labeled: I, train_config: TrainConfig)
+    where
+        I: IntoIterator<Item = (&'a str, bool)>,
+    {
+        let mut data = Dataset::new();
+        for (text, label) in labeled {
+            data.push(self.featurizer.features(text), label);
+        }
+        self.model = LogisticRegression::train(&data, self.featurizer.dimensions(), train_config);
+    }
+
+    /// Positive-class probability for a document.
+    pub fn score(&self, text: &str) -> f32 {
+        self.model.predict_proba(&self.featurizer.features(text))
+    }
+
+    /// Scores a batch.
+    pub fn score_batch<'a, I: IntoIterator<Item = &'a str>>(&self, texts: I) -> Vec<f32> {
+        texts.into_iter().map(|t| self.score(t)).collect()
+    }
+
+    /// The fitted featurizer.
+    pub fn featurizer(&self) -> &Featurizer {
+        &self.featurizer
+    }
+
+    /// Evaluates on held-out labeled documents at a decision threshold,
+    /// producing the Table 3 metric block plus AUC-ROC.
+    pub fn evaluate<'a, I>(&self, labeled: I, threshold: f32) -> EvalReport
+    where
+        I: IntoIterator<Item = (&'a str, bool)>,
+    {
+        let mut confusion = BinaryConfusion::default();
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for (text, label) in labeled {
+            let score = self.score(text);
+            confusion.record(label, score > threshold);
+            scores.push(score as f64);
+            labels.push(label);
+        }
+        EvalReport {
+            metrics: confusion.table_metrics(),
+            confusion,
+            auc: auc_roc(&scores, &labels),
+        }
+    }
+}
+
+/// Evaluation output: confusion counts, Table 3 metrics, AUC.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    pub confusion: BinaryConfusion,
+    pub metrics: MultiMetrics,
+    /// `None` when the evaluation set is single-class.
+    pub auc: Option<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::featurize::FeatureMode;
+
+    fn labeled_corpus() -> Vec<(&'static str, bool)> {
+        vec![
+            ("we need to mass report his account get him banned", true),
+            ("lets all flag her videos until they remove them", true),
+            ("everyone report this profile to the platform now", true),
+            ("we should raid his stream and spam the chat", true),
+            ("post her address so people can show up", true),
+            ("dox him and spread it everywhere", true),
+            ("report the bug tracker issue to the maintainers", false),
+            ("i love this recipe for banana bread", false),
+            ("the weather has been great this week", false),
+            ("new episode drops tonight cant wait", false),
+            ("can someone help me fix my printer", false),
+            ("great game last night what a comeback", false),
+        ]
+    }
+
+    fn quick_config() -> FeaturizerConfig {
+        FeaturizerConfig {
+            mode: FeatureMode::Word,
+            hash_bits: 14,
+            max_len: 128,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn learns_to_separate_cth_from_benign() {
+        let clf = TextClassifier::train(labeled_corpus(), quick_config(), TrainConfig::default());
+        assert!(clf.score("we need to report him and get his account banned") > 0.5);
+        assert!(clf.score("what a lovely sunset today") < 0.5);
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let clf = TextClassifier::train(labeled_corpus(), quick_config(), TrainConfig::default());
+        for (text, _) in labeled_corpus() {
+            let s = clf.score(text);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn evaluate_reports_consistent_counts() {
+        let clf = TextClassifier::train(labeled_corpus(), quick_config(), TrainConfig::default());
+        let report = clf.evaluate(labeled_corpus(), 0.5);
+        assert_eq!(report.confusion.total(), 12);
+        assert!(report.auc.unwrap() > 0.8);
+        assert!(report.metrics.positive.f1 > 0.6);
+    }
+
+    #[test]
+    fn retrain_keeps_featurizer_but_updates_model() {
+        let mut clf =
+            TextClassifier::train(labeled_corpus(), quick_config(), TrainConfig::default());
+        let before = clf.score("report him to the platform");
+        // Retrain with flipped labels; the score must move.
+        let flipped: Vec<(&str, bool)> =
+            labeled_corpus().into_iter().map(|(t, l)| (t, !l)).collect();
+        clf.retrain(
+            flipped.iter().map(|(t, l)| (*t, *l)),
+            TrainConfig::default(),
+        );
+        let after = clf.score("report him to the platform");
+        assert!(after < before);
+    }
+
+    #[test]
+    fn batch_scoring_matches_single() {
+        let clf = TextClassifier::train(labeled_corpus(), quick_config(), TrainConfig::default());
+        let texts = ["report him", "nice weather"];
+        let batch = clf.score_batch(texts);
+        assert_eq!(batch[0], clf.score("report him"));
+        assert_eq!(batch[1], clf.score("nice weather"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Model persistence.
+//!
+//! §3 of the paper: "we will open-source the classifiers discussed in this
+//! analysis to help online platforms better detect calls to harassment and
+//! doxing. We will not provide PII or actual training data." This module is
+//! that promise for the reproduction: a trained [`TextClassifier`]
+//! serializes to a single JSON artifact — hashed-feature weights, WordPiece
+//! vocabulary and featurizer configuration; **no training text** — and loads
+//! back bit-identically.
+
+use crate::model::TextClassifier;
+use std::io::{Read, Write};
+
+/// Errors from saving/loading models.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The artifact was not a valid model (wrong schema or corrupt).
+    Format(String),
+    /// The artifact declares an unsupported schema version.
+    Version { found: u32, supported: u32 },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "model i/o error: {e}"),
+            PersistError::Format(m) => write!(f, "invalid model artifact: {m}"),
+            PersistError::Version { found, supported } => {
+                write!(
+                    f,
+                    "unsupported model version {found} (supported: {supported})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Current artifact schema version.
+pub const MODEL_VERSION: u32 = 1;
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Artifact {
+    /// Schema version for forward compatibility.
+    version: u32,
+    /// Human-readable provenance note.
+    producer: String,
+    /// The classifier itself.
+    classifier: TextClassifier,
+}
+
+/// Saves a classifier as a JSON artifact.
+pub fn save_model<W: Write>(writer: W, classifier: &TextClassifier) -> Result<(), PersistError> {
+    let artifact = Artifact {
+        version: MODEL_VERSION,
+        producer: format!("incite-ml {}", env!("CARGO_PKG_VERSION")),
+        classifier: classifier.clone(),
+    };
+    serde_json::to_writer(writer, &artifact).map_err(|e| PersistError::Format(e.to_string()))
+}
+
+/// Loads a classifier from a JSON artifact.
+pub fn load_model<R: Read>(reader: R) -> Result<TextClassifier, PersistError> {
+    let artifact: Artifact =
+        serde_json::from_reader(reader).map_err(|e| PersistError::Format(e.to_string()))?;
+    if artifact.version != MODEL_VERSION {
+        return Err(PersistError::Version {
+            found: artifact.version,
+            supported: MODEL_VERSION,
+        });
+    }
+    Ok(artifact.classifier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::featurize::{FeatureMode, FeaturizerConfig};
+    use crate::logreg::TrainConfig;
+
+    fn trained(mode: FeatureMode) -> TextClassifier {
+        let data = vec![
+            ("we need to mass report him", true),
+            ("lets raid her stream", true),
+            ("dox him, post the address", true),
+            ("nice weather for hiking", false),
+            ("the new patch is great", false),
+            ("help me fix my printer", false),
+        ];
+        TextClassifier::train(
+            data,
+            FeaturizerConfig {
+                mode,
+                hash_bits: 12,
+                vocab_size: 256,
+                ..Default::default()
+            },
+            TrainConfig {
+                epochs: 6,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_scores_exactly() {
+        for mode in [FeatureMode::Word, FeatureMode::Subword, FeatureMode::Char] {
+            let clf = trained(mode);
+            let mut buf = Vec::new();
+            save_model(&mut buf, &clf).unwrap();
+            let loaded = load_model(buf.as_slice()).unwrap();
+            for text in [
+                "we need to report him",
+                "report the pothole to the city",
+                "raid her stream tonight",
+                "",
+            ] {
+                assert_eq!(clf.score(text), loaded.score(text), "{mode:?}: {text}");
+            }
+        }
+    }
+
+    #[test]
+    fn artifact_contains_no_training_text() {
+        let clf = trained(FeatureMode::Word);
+        let mut buf = Vec::new();
+        save_model(&mut buf, &clf).unwrap();
+        let json = String::from_utf8(buf).unwrap();
+        // The paper's commitment: models without training data.
+        assert!(!json.contains("mass report him"));
+        assert!(!json.contains("nice weather"));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let clf = trained(FeatureMode::Word);
+        let mut buf = Vec::new();
+        save_model(&mut buf, &clf).unwrap();
+        let json = String::from_utf8(buf)
+            .unwrap()
+            .replacen("\"version\":1", "\"version\":99", 1);
+        match load_model(json.as_bytes()) {
+            Err(PersistError::Version { found: 99, .. }) => {}
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(matches!(
+            load_model(&b"not json"[..]),
+            Err(PersistError::Format(_))
+        ));
+        assert!(matches!(
+            load_model(&b"{}"[..]),
+            Err(PersistError::Format(_))
+        ));
+    }
+}

@@ -1,0 +1,121 @@
+//! Extractor-evaluation harness (§5.6).
+//!
+//! The paper evaluates its regexes on 98 true-positive pastes doxes and
+//! reports ≥ 95 % accuracy per extractor (seven at 100 %), and evaluates the
+//! pronoun gender method on 123 doxes (94.3 %). This harness reproduces
+//! both evaluations against documents with known ground truth.
+
+use crate::extract::PiiExtractor;
+use crate::gender::infer_gender;
+use incite_taxonomy::pii_kind::PiiSet;
+use incite_taxonomy::{Gender, PiiKind};
+
+/// Per-extractor accuracy over an evaluation sample.
+#[derive(Debug, Clone)]
+pub struct ExtractorAccuracy {
+    pub kind: PiiKind,
+    /// Documents where extracted presence equals planted presence.
+    pub correct: usize,
+    pub total: usize,
+}
+
+impl ExtractorAccuracy {
+    /// Accuracy in `[0, 1]`; 1.0 for an empty sample.
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+}
+
+/// Evaluates presence/absence agreement per PII kind over `(text, truth)`
+/// pairs — the §5.6 extractor evaluation.
+pub fn evaluate_extractors(
+    extractor: &PiiExtractor,
+    sample: &[(&str, PiiSet)],
+) -> Vec<ExtractorAccuracy> {
+    PiiKind::ALL
+        .iter()
+        .map(|&kind| {
+            let correct = sample
+                .iter()
+                .filter(|(text, truth)| {
+                    extractor.pii_set(text).contains(kind) == truth.contains(kind)
+                })
+                .count();
+            ExtractorAccuracy {
+                kind,
+                correct,
+                total: sample.len(),
+            }
+        })
+        .collect()
+}
+
+/// Gender-inference accuracy over `(text, truth)` pairs restricted to
+/// documents whose planted gender is known — the §5.6 123-dox evaluation.
+pub fn evaluate_gender(sample: &[(&str, Gender)]) -> (usize, usize) {
+    let relevant: Vec<_> = sample
+        .iter()
+        .filter(|(_, g)| *g != Gender::Unknown)
+        .collect();
+    let correct = relevant
+        .iter()
+        .filter(|(text, g)| infer_gender(text) == *g)
+        .count();
+    (correct, relevant.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_extraction_scores_one() {
+        let ex = PiiExtractor::new();
+        let truth: PiiSet = [PiiKind::Email].into_iter().collect();
+        let sample = vec![
+            ("mail: a@example.com", truth),
+            ("no pii at all", PiiSet::EMPTY),
+        ];
+        let accs = evaluate_extractors(&ex, &sample);
+        for acc in accs {
+            assert_eq!(acc.accuracy(), 1.0, "{:?}", acc.kind);
+        }
+    }
+
+    #[test]
+    fn missed_extraction_lowers_accuracy() {
+        let ex = PiiExtractor::new();
+        // Claim a phone exists where there is none.
+        let truth: PiiSet = [PiiKind::Phone].into_iter().collect();
+        let sample = vec![("nothing here", truth)];
+        let accs = evaluate_extractors(&ex, &sample);
+        let phone = accs.iter().find(|a| a.kind == PiiKind::Phone).unwrap();
+        assert_eq!(phone.accuracy(), 0.0);
+        let email = accs.iter().find(|a| a.kind == PiiKind::Email).unwrap();
+        assert_eq!(email.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn gender_eval_skips_unknown_truth() {
+        let sample = vec![
+            ("report him and his server", Gender::Male),
+            ("her account, flag her", Gender::Female),
+            ("no pronouns", Gender::Unknown),
+        ];
+        let (correct, total) = evaluate_gender(&sample);
+        assert_eq!(total, 2);
+        assert_eq!(correct, 2);
+    }
+
+    #[test]
+    fn empty_sample_is_vacuously_perfect() {
+        let ex = PiiExtractor::new();
+        let accs = evaluate_extractors(&ex, &[]);
+        assert!(accs.iter().all(|a| a.accuracy() == 1.0));
+        assert_eq!(evaluate_gender(&[]), (0, 0));
+    }
+}

@@ -1,0 +1,68 @@
+//! Harm-risk assignment (§7.2).
+//!
+//! Combines automatic PII extraction with the manually annotated reputation
+//! flag to place each dox in the Table 7 risk categories.
+
+use crate::extract::PiiExtractor;
+use incite_taxonomy::harm::RiskSet;
+
+/// Assigns the harm-risk set for a document: extract PII, map through
+/// Table 7, add the reputation flag (which the paper annotates manually —
+/// callers pass the annotation).
+pub fn assign_risks(extractor: &PiiExtractor, text: &str, reputation_flag: bool) -> RiskSet {
+    let pii = extractor.pii_set(text);
+    RiskSet::from_pii(pii, reputation_flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incite_taxonomy::HarmRisk;
+
+    #[test]
+    fn address_implies_physical_risk() {
+        let ex = PiiExtractor::new();
+        let risks = assign_risks(&ex, "lives at 44 Fox Run Blvd, Milltown, TX 75001", false);
+        assert!(risks.contains(HarmRisk::Physical));
+        assert!(!risks.contains(HarmRisk::Online));
+    }
+
+    #[test]
+    fn email_implies_online_and_economic() {
+        let ex = PiiExtractor::new();
+        let risks = assign_risks(&ex, "contact: target@example.com", false);
+        assert!(risks.contains(HarmRisk::Online));
+        assert!(risks.contains(HarmRisk::EconomicIdentity));
+        assert_eq!(risks.len(), 2);
+    }
+
+    #[test]
+    fn social_profile_is_online_only() {
+        let ex = PiiExtractor::new();
+        let risks = assign_risks(&ex, "main account twitter.com/target_user9", false);
+        assert_eq!(risks.iter().collect::<Vec<_>>(), vec![HarmRisk::Online]);
+    }
+
+    #[test]
+    fn reputation_comes_only_from_the_flag() {
+        let ex = PiiExtractor::new();
+        let text = "works at the mill, her boss should know. 555-01 nothing";
+        assert!(!assign_risks(&ex, text, false).contains(HarmRisk::Reputation));
+        assert!(assign_risks(&ex, text, true).contains(HarmRisk::Reputation));
+    }
+
+    #[test]
+    fn no_pii_no_flag_is_empty() {
+        let ex = PiiExtractor::new();
+        assert!(assign_risks(&ex, "nothing sensitive here", false).is_empty());
+    }
+
+    #[test]
+    fn full_dox_hits_all_four() {
+        let ex = PiiExtractor::new();
+        let text = "Name: a b\nAddress: 12000 Quarry Gate St, Ashford, PA 19000\n\
+                    Email: a.b@example.com\nSSN: 000-55-1234\nfb: a.b.9";
+        let risks = assign_risks(&ex, text, true);
+        assert_eq!(risks.len(), 4);
+    }
+}

@@ -1,0 +1,57 @@
+//! Luhn checksum validation for candidate card numbers.
+//!
+//! The per-network regexes are deliberately loose about digits; Luhn
+//! validation removes most random digit-run false positives, which is how
+//! the paper's per-card-company expressions reach high precision.
+
+/// Whether a digit string (separators allowed) passes the Luhn checksum.
+pub fn luhn_valid(candidate: &str) -> bool {
+    let digits: Vec<u32> = candidate.chars().filter_map(|c| c.to_digit(10)).collect();
+    if digits.len() < 12 {
+        return false;
+    }
+    let mut sum = 0u32;
+    for (i, &d) in digits.iter().rev().enumerate() {
+        let mut d = d;
+        if i % 2 == 1 {
+            d *= 2;
+            if d > 9 {
+                d -= 9;
+            }
+        }
+        sum += d;
+    }
+    sum.is_multiple_of(10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_standard_test_numbers() {
+        assert!(luhn_valid("4111111111111111"));
+        assert!(luhn_valid("5555555555554444"));
+        assert!(luhn_valid("378282246310005"));
+        assert!(luhn_valid("6011111111111117"));
+    }
+
+    #[test]
+    fn rejects_off_by_one() {
+        assert!(!luhn_valid("4111111111111112"));
+        assert!(!luhn_valid("5555555555554445"));
+    }
+
+    #[test]
+    fn tolerates_separators() {
+        assert!(luhn_valid("4111-1111-1111-1111"));
+        assert!(luhn_valid("4111 1111 1111 1111"));
+    }
+
+    #[test]
+    fn rejects_short_runs() {
+        assert!(!luhn_valid("59"));
+        assert!(!luhn_valid(""));
+        assert!(!luhn_valid("0"));
+    }
+}

@@ -1,0 +1,110 @@
+//! PII redaction.
+//!
+//! The paper's content-moderation motivation (§3: classifiers are released
+//! "to help online platforms better detect calls to harassment and doxing")
+//! implies the obvious companion operation: removing the PII a dox exposes.
+//! [`redact`] replaces every extracted span with a `[kind]` placeholder,
+//! handling overlapping matches by keeping the earliest-starting (then
+//! longest) span.
+
+use crate::extract::{PiiExtractor, PiiMatch};
+
+/// Replaces every PII span in `text` with `[KIND]`. Returns the redacted
+/// text and the matches that were applied (non-overlapping, in order).
+///
+/// ```
+/// use incite_pii::{redact, PiiExtractor};
+///
+/// let extractor = PiiExtractor::new();
+/// let (clean, spans) = redact(&extractor, "reach me at me@example.com");
+/// assert_eq!(clean, "reach me at [EMAIL]");
+/// assert_eq!(spans.len(), 1);
+/// ```
+pub fn redact(extractor: &PiiExtractor, text: &str) -> (String, Vec<PiiMatch>) {
+    let mut matches = extractor.extract(text);
+    // Earliest start wins; ties broken by longest span.
+    matches.sort_by_key(|m| (m.start, std::cmp::Reverse(m.end)));
+    let mut applied: Vec<PiiMatch> = Vec::new();
+    for m in matches {
+        if applied.last().is_none_or(|last| m.start >= last.end) {
+            applied.push(m);
+        }
+    }
+    let mut out = String::with_capacity(text.len());
+    let mut cursor = 0;
+    for m in &applied {
+        out.push_str(&text[cursor..m.start]);
+        out.push('[');
+        out.push_str(&m.kind.slug().to_uppercase());
+        out.push(']');
+        cursor = m.end;
+    }
+    out.push_str(&text[cursor..]);
+    (out, applied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incite_taxonomy::PiiKind;
+
+    fn ex() -> PiiExtractor {
+        PiiExtractor::new()
+    }
+
+    #[test]
+    fn redacts_every_kind_in_a_drop() {
+        let text = "Name: pat q\nPhone: (212) 555-0101\nEmail: pat@example.net\n\
+                    Twitter: @patq1 via twitter: patq1\nAddress: 900 Larkspur Ave, Fairview, OH 44111";
+        let (red, applied) = redact(&ex(), text);
+        assert!(!red.contains("555-0101"));
+        assert!(!red.contains("pat@example.net"));
+        assert!(!red.contains("Larkspur"));
+        assert!(red.contains("[PHONE]"));
+        assert!(red.contains("[EMAIL]"));
+        assert!(red.contains("[ADDRESS]"));
+        assert!(applied.len() >= 3);
+    }
+
+    #[test]
+    fn clean_text_is_unchanged() {
+        let text = "we talked about the game for hours";
+        let (red, applied) = redact(&ex(), text);
+        assert_eq!(red, text);
+        assert!(applied.is_empty());
+    }
+
+    #[test]
+    fn overlapping_spans_do_not_corrupt_output() {
+        // An SSN-shaped run inside a phone-like context; whatever the
+        // extractor finds, the output must be valid and fully redacted.
+        let text = "dial 212-555-0187 or 000-12-3456 now";
+        let (red, applied) = redact(&ex(), text);
+        assert!(!red.contains("0187"));
+        assert!(!red.contains("3456"));
+        // Non-overlap invariant.
+        for w in applied.windows(2) {
+            assert!(w[0].end <= w[1].start);
+        }
+    }
+
+    #[test]
+    fn applied_spans_index_the_original_text() {
+        let text = "contact a@example.com and b@example.net";
+        let (_, applied) = redact(&ex(), text);
+        assert_eq!(applied.len(), 2);
+        for m in &applied {
+            assert_eq!(&text[m.start..m.end], m.text);
+            assert_eq!(m.kind, PiiKind::Email);
+        }
+    }
+
+    #[test]
+    fn unicode_around_matches_survives() {
+        let text = "héllo → mail me at x.y9@example.com ← thanks";
+        let (red, _) = redact(&ex(), text);
+        assert!(red.contains("héllo →"));
+        assert!(red.contains("← thanks"));
+        assert!(red.contains("[EMAIL]"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Pattern abstract syntax tree.
+
+/// A character-class item: either a single character or an inclusive range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassItem {
+    /// A single character.
+    Char(char),
+    /// An inclusive range `lo-hi`.
+    Range(char, char),
+    /// A named Perl class inside brackets (`[\d]`, `[\w]`, `[\s]`).
+    Perl(PerlClass),
+}
+
+/// The Perl shorthand classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PerlClass {
+    /// `\d` — ASCII digits.
+    Digit,
+    /// `\w` — alphanumerics plus `_` (Unicode alphabetic allowed).
+    Word,
+    /// `\s` — whitespace.
+    Space,
+}
+
+/// A parsed character class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CharClass {
+    /// Items in the class.
+    pub items: Vec<ClassItem>,
+    /// Whether the class is negated (`[^…]`).
+    pub negated: bool,
+}
+
+/// Quantifier bounds: `{min, max}` with `max == None` meaning unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repeat {
+    pub min: u32,
+    pub max: Option<u32>,
+    /// Greedy unless a `?` suffix made it lazy.
+    pub greedy: bool,
+}
+
+/// An AST node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// The empty pattern (matches the empty string).
+    Empty,
+    /// A literal character.
+    Literal(char),
+    /// `.` — any character except `\n`.
+    AnyChar,
+    /// A bracketed character class.
+    Class(CharClass),
+    /// A Perl shorthand outside brackets (`\d`, `\W`, …); `negated`
+    /// represents the uppercase variants.
+    Perl { class: PerlClass, negated: bool },
+    /// `^` — start of text.
+    StartAnchor,
+    /// `$` — end of text.
+    EndAnchor,
+    /// `\b` (`negated = false`) or `\B` (`negated = true`).
+    WordBoundary { negated: bool },
+    /// Concatenation of sub-patterns.
+    Concat(Vec<Ast>),
+    /// Alternation of branches.
+    Alternate(Vec<Ast>),
+    /// A repeated sub-pattern.
+    Repeat { node: Box<Ast>, repeat: Repeat },
+    /// A group. `index` is `Some(n)` for capturing groups (1-based).
+    Group { node: Box<Ast>, index: Option<u32> },
+}
+
+impl Ast {
+    /// Number of capturing groups contained in (and including) this node.
+    pub fn capture_count(&self) -> u32 {
+        match self {
+            Ast::Concat(items) | Ast::Alternate(items) => {
+                items.iter().map(Ast::capture_count).sum()
+            }
+            Ast::Repeat { node, .. } => node.capture_count(),
+            Ast::Group { node, index } => u32::from(index.is_some()) + node.capture_count(),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_count_counts_nested_groups() {
+        // ((a)(?:b))(c)
+        let ast = Ast::Concat(vec![
+            Ast::Group {
+                index: Some(1),
+                node: Box::new(Ast::Concat(vec![
+                    Ast::Group {
+                        index: Some(2),
+                        node: Box::new(Ast::Literal('a')),
+                    },
+                    Ast::Group {
+                        index: None,
+                        node: Box::new(Ast::Literal('b')),
+                    },
+                ])),
+            },
+            Ast::Group {
+                index: Some(3),
+                node: Box::new(Ast::Literal('c')),
+            },
+        ]);
+        assert_eq!(ast.capture_count(), 3);
+    }
+
+    #[test]
+    fn leaves_have_no_captures() {
+        assert_eq!(Ast::Literal('x').capture_count(), 0);
+        assert_eq!(Ast::AnyChar.capture_count(), 0);
+        assert_eq!(Ast::Empty.capture_count(), 0);
+    }
+}

@@ -1,0 +1,420 @@
+//! Thompson-construction compiler: AST → NFA bytecode.
+
+use crate::ast::{Ast, CharClass, ClassItem, PerlClass, Repeat};
+use crate::error::Error;
+
+/// Maximum compiled program size, guarding against counted-repetition blowup.
+const MAX_PROGRAM: usize = 100_000;
+
+/// A character predicate tested by [`Inst::Char`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CharPred {
+    /// Exact character.
+    Literal(char),
+    /// `.` — anything but `\n`.
+    Any,
+    /// Bracketed class, flattened to ranges.
+    Class {
+        ranges: Vec<(char, char)>,
+        perls: Vec<PerlClass>,
+        negated: bool,
+    },
+    /// A Perl shorthand (`\d`, `\W`, …).
+    Perl { class: PerlClass, negated: bool },
+}
+
+pub(crate) fn perl_matches(class: PerlClass, c: char) -> bool {
+    match class {
+        PerlClass::Digit => c.is_ascii_digit(),
+        PerlClass::Word => c.is_alphanumeric() || c == '_',
+        PerlClass::Space => c.is_whitespace(),
+    }
+}
+
+impl CharPred {
+    /// Whether the predicate accepts `c`. `ci` enables case folding.
+    pub fn matches(&self, c: char, ci: bool) -> bool {
+        match self {
+            CharPred::Literal(l) => {
+                if ci {
+                    let lc = lower(c);
+                    let ll = lower(*l);
+                    lc == ll
+                } else {
+                    c == *l
+                }
+            }
+            CharPred::Any => c != '\n',
+            CharPred::Class {
+                ranges,
+                perls,
+                negated,
+            } => {
+                let mut hit = perls.iter().any(|p| perl_matches(*p, c));
+                if !hit {
+                    hit = in_ranges(ranges, c) || (ci && in_ranges(ranges, flip_case(c)));
+                }
+                hit != *negated
+            }
+            CharPred::Perl { class, negated } => perl_matches(*class, c) != *negated,
+        }
+    }
+}
+
+fn lower(c: char) -> char {
+    let mut it = c.to_lowercase();
+    let l = it.next().unwrap_or(c);
+    if it.next().is_some() {
+        c
+    } else {
+        l
+    }
+}
+
+fn flip_case(c: char) -> char {
+    if c.is_uppercase() {
+        lower(c)
+    } else {
+        let mut it = c.to_uppercase();
+        let u = it.next().unwrap_or(c);
+        if it.next().is_some() {
+            c
+        } else {
+            u
+        }
+    }
+}
+
+fn in_ranges(ranges: &[(char, char)], c: char) -> bool {
+    ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi)
+}
+
+/// One NFA instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// Consume one character matching the predicate.
+    Char(CharPred),
+    /// Try `a` first (higher priority), then `b`.
+    Split(usize, usize),
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Record the current position into capture slot `n`.
+    Save(usize),
+    /// Zero-width: start of text.
+    AssertStart,
+    /// Zero-width: end of text.
+    AssertEnd,
+    /// Zero-width: `\b` / `\B`.
+    WordBoundary { negated: bool },
+    /// Accept.
+    Match,
+}
+
+/// A compiled program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Instruction stream. Entry point is index 0.
+    pub insts: Vec<Inst>,
+    /// Number of capture groups including group 0.
+    pub n_groups: usize,
+    /// Case-insensitive matching.
+    pub case_insensitive: bool,
+}
+
+impl Program {
+    /// Number of capture slots (two per group).
+    pub fn n_slots(&self) -> usize {
+        self.n_groups * 2
+    }
+}
+
+struct Compiler {
+    insts: Vec<Inst>,
+}
+
+impl Compiler {
+    fn emit(&mut self, inst: Inst) -> Result<usize, Error> {
+        if self.insts.len() >= MAX_PROGRAM {
+            return Err(Error::new("compiled program too large", 0));
+        }
+        self.insts.push(inst);
+        Ok(self.insts.len() - 1)
+    }
+
+    fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    fn patch_split(&mut self, at: usize, which: u8, target: usize) {
+        if let Inst::Split(a, b) = &mut self.insts[at] {
+            if which == 0 {
+                *a = target;
+            } else {
+                *b = target;
+            }
+        } else {
+            unreachable!("patch_split on non-split");
+        }
+    }
+
+    fn patch_jmp(&mut self, at: usize, target: usize) {
+        if let Inst::Jmp(t) = &mut self.insts[at] {
+            *t = target;
+        } else {
+            unreachable!("patch_jmp on non-jmp");
+        }
+    }
+
+    /// Compiles `ast`; on return the program falls through to `self.here()`.
+    fn node(&mut self, ast: &Ast) -> Result<(), Error> {
+        match ast {
+            Ast::Empty => Ok(()),
+            Ast::Literal(c) => {
+                self.emit(Inst::Char(CharPred::Literal(*c)))?;
+                Ok(())
+            }
+            Ast::AnyChar => {
+                self.emit(Inst::Char(CharPred::Any))?;
+                Ok(())
+            }
+            Ast::Perl { class, negated } => {
+                self.emit(Inst::Char(CharPred::Perl {
+                    class: *class,
+                    negated: *negated,
+                }))?;
+                Ok(())
+            }
+            Ast::Class(class) => {
+                self.emit(Inst::Char(compile_class(class)))?;
+                Ok(())
+            }
+            Ast::StartAnchor => {
+                self.emit(Inst::AssertStart)?;
+                Ok(())
+            }
+            Ast::EndAnchor => {
+                self.emit(Inst::AssertEnd)?;
+                Ok(())
+            }
+            Ast::WordBoundary { negated } => {
+                self.emit(Inst::WordBoundary { negated: *negated })?;
+                Ok(())
+            }
+            Ast::Concat(items) => {
+                for item in items {
+                    self.node(item)?;
+                }
+                Ok(())
+            }
+            Ast::Alternate(branches) => {
+                // split b1, (split b2, (... bn)); each branch jumps to end.
+                let mut jmp_holes = Vec::new();
+                let n = branches.len();
+                for (i, branch) in branches.iter().enumerate() {
+                    if i + 1 < n {
+                        let split = self.emit(Inst::Split(0, 0))?;
+                        let b_start = self.here();
+                        self.patch_split(split, 0, b_start);
+                        self.node(branch)?;
+                        let j = self.emit(Inst::Jmp(0))?;
+                        jmp_holes.push(j);
+                        let next = self.here();
+                        self.patch_split(split, 1, next);
+                    } else {
+                        self.node(branch)?;
+                    }
+                }
+                let end = self.here();
+                for j in jmp_holes {
+                    self.patch_jmp(j, end);
+                }
+                Ok(())
+            }
+            Ast::Group { node, index } => {
+                if let Some(i) = index {
+                    self.emit(Inst::Save(2 * *i as usize))?;
+                    self.node(node)?;
+                    self.emit(Inst::Save(2 * *i as usize + 1))?;
+                } else {
+                    self.node(node)?;
+                }
+                Ok(())
+            }
+            Ast::Repeat { node, repeat } => self.repeat(node, *repeat),
+        }
+    }
+
+    fn repeat(&mut self, node: &Ast, rep: Repeat) -> Result<(), Error> {
+        let Repeat { min, max, greedy } = rep;
+        // Mandatory copies.
+        for _ in 0..min {
+            self.node(node)?;
+        }
+        match max {
+            None => {
+                // Star loop over one more copy: L: split body, out; body; jmp L
+                let split = self.emit(Inst::Split(0, 0))?;
+                let body = self.here();
+                self.node(node)?;
+                self.emit(Inst::Jmp(split))?;
+                let out = self.here();
+                if greedy {
+                    self.patch_split(split, 0, body);
+                    self.patch_split(split, 1, out);
+                } else {
+                    self.patch_split(split, 0, out);
+                    self.patch_split(split, 1, body);
+                }
+                Ok(())
+            }
+            Some(max) => {
+                // (max - min) optional copies, each individually skippable.
+                let mut splits = Vec::new();
+                for _ in min..max {
+                    let split = self.emit(Inst::Split(0, 0))?;
+                    let body = self.here();
+                    if greedy {
+                        self.patch_split(split, 0, body);
+                    } else {
+                        self.patch_split(split, 1, body);
+                    }
+                    splits.push(split);
+                    self.node(node)?;
+                }
+                let out = self.here();
+                for split in splits {
+                    if greedy {
+                        self.patch_split(split, 1, out);
+                    } else {
+                        self.patch_split(split, 0, out);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn compile_class(class: &CharClass) -> CharPred {
+    let mut ranges = Vec::new();
+    let mut perls = Vec::new();
+    for item in &class.items {
+        match item {
+            ClassItem::Char(c) => ranges.push((*c, *c)),
+            ClassItem::Range(lo, hi) => ranges.push((*lo, *hi)),
+            ClassItem::Perl(p) => perls.push(*p),
+        }
+    }
+    CharPred::Class {
+        ranges,
+        perls,
+        negated: class.negated,
+    }
+}
+
+/// Compiles an AST into a program. The program is wrapped as
+/// `Save(0) <body> Save(1) Match`; unanchored search is handled by the VM.
+pub fn compile(ast: &Ast, case_insensitive: bool) -> Result<Program, Error> {
+    let n_groups = ast.capture_count() as usize + 1;
+    let mut c = Compiler { insts: Vec::new() };
+    c.emit(Inst::Save(0))?;
+    c.node(ast)?;
+    c.emit(Inst::Save(1))?;
+    c.emit(Inst::Match)?;
+    Ok(Program {
+        insts: c.insts,
+        n_groups,
+        case_insensitive,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn compile_pat(pat: &str) -> Program {
+        compile(&parse(pat).unwrap(), false).unwrap()
+    }
+
+    #[test]
+    fn literal_program_shape() {
+        let p = compile_pat("ab");
+        assert_eq!(p.insts.len(), 5); // Save0, a, b, Save1, Match
+        assert!(matches!(p.insts[4], Inst::Match));
+        assert_eq!(p.n_groups, 1);
+        assert_eq!(p.n_slots(), 2);
+    }
+
+    #[test]
+    fn groups_allocate_slots() {
+        let p = compile_pat("(a)(b)");
+        assert_eq!(p.n_groups, 3);
+        let saves: Vec<usize> = p
+            .insts
+            .iter()
+            .filter_map(|i| {
+                if let Inst::Save(n) = i {
+                    Some(*n)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        assert_eq!(saves, vec![0, 2, 3, 4, 5, 1]);
+    }
+
+    #[test]
+    fn counted_repeat_expands() {
+        let p3 = compile_pat("a{3}");
+        let p5 = compile_pat("a{5}");
+        assert!(p5.insts.len() > p3.insts.len());
+    }
+
+    #[test]
+    fn huge_repeat_is_rejected() {
+        // 1000 is allowed per repetition but nesting multiplies; the program
+        // size cap must kick in.
+        let ast = parse("(?:a{1000}){1000}").unwrap();
+        assert!(compile(&ast, false).is_err());
+    }
+
+    #[test]
+    fn char_pred_literal_case_folding() {
+        let pred = CharPred::Literal('a');
+        assert!(pred.matches('a', false));
+        assert!(!pred.matches('A', false));
+        assert!(pred.matches('A', true));
+    }
+
+    #[test]
+    fn char_pred_class_negation() {
+        let pred = CharPred::Class {
+            ranges: vec![('a', 'z')],
+            perls: vec![],
+            negated: true,
+        };
+        assert!(!pred.matches('q', false));
+        assert!(pred.matches('1', false));
+    }
+
+    #[test]
+    fn char_pred_class_ci_checks_flipped_case() {
+        let pred = CharPred::Class {
+            ranges: vec![('a', 'z')],
+            perls: vec![],
+            negated: false,
+        };
+        assert!(pred.matches('Q', true));
+        assert!(!pred.matches('Q', false));
+    }
+
+    #[test]
+    fn perl_word_includes_underscore_and_unicode() {
+        assert!(perl_matches(PerlClass::Word, '_'));
+        assert!(perl_matches(PerlClass::Word, 'ü'));
+        assert!(!perl_matches(PerlClass::Word, '-'));
+        assert!(perl_matches(PerlClass::Digit, '7'));
+        assert!(!perl_matches(PerlClass::Digit, '٧')); // ASCII digits only
+    }
+}

@@ -1,0 +1,40 @@
+//! Pattern compilation errors.
+
+use std::fmt;
+
+/// An error produced while parsing or compiling a pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the pattern where the problem was detected.
+    pub position: usize,
+}
+
+impl Error {
+    pub(crate) fn new(message: impl Into<String>, position: usize) -> Self {
+        Error {
+            message: message.into(),
+            position,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = Error::new("unbalanced group", 3);
+        assert_eq!(e.to_string(), "regex error at byte 3: unbalanced group");
+    }
+}

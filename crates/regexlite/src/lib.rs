@@ -1,0 +1,512 @@
+//! # incite-regex
+//!
+//! A self-contained regular-expression engine built for the PII extractors
+//! of §5.6. The paper's extraction layer is a set of 12 regular expressions
+//! derived from the `CommonRegex` Python library; no regex crate is on this
+//! project's approved dependency list, so the engine is implemented from
+//! scratch as a substrate.
+//!
+//! Design: a recursive-descent [`parser`] produces an [`ast`], which the
+//! [`compile`] pass lowers to a Thompson NFA bytecode program executed by a
+//! Pike [`vm`] — linear time in the input, no backtracking, no pathological
+//! cases. Supported syntax covers what the PII patterns need:
+//!
+//! * literals, `.`, escapes (`\d \w \s \D \W \S \. \\ \- …`)
+//! * character classes `[a-z0-9_]`, negation `[^…]`, ranges and escapes
+//! * alternation `a|b`, capturing `(…)` and non-capturing `(?:…)` groups
+//! * quantifiers `* + ?` and counted `{m} {m,} {m,n}` (greedy, plus lazy
+//!   `*? +? ??`)
+//! * anchors `^ $` and word boundaries `\b \B`
+//! * an engine-level case-insensitivity flag ([`Regex::case_insensitive`])
+//!
+//! Matching semantics are leftmost-first with greedy quantifier priority —
+//! the semantics the original Python patterns assume.
+
+pub mod ast;
+pub mod compile;
+pub mod error;
+pub mod parser;
+pub mod vm;
+
+pub use error::Error;
+
+use compile::Program;
+
+/// A compiled regular expression.
+///
+/// ```
+/// use incite_regex::Regex;
+///
+/// let re = Regex::new(r"(\w+)@(\w+)\.com").unwrap();
+/// let caps = re.captures("mail someone@example.com today").unwrap();
+/// assert_eq!(caps.get(0).unwrap().as_str(), "someone@example.com");
+/// assert_eq!(caps.get(1).unwrap().as_str(), "someone");
+///
+/// let re = Regex::case_insensitive("twitter").unwrap();
+/// assert!(re.is_match("check TWITTER now"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Regex {
+    program: Program,
+    pattern: String,
+}
+
+/// A single match: byte offsets into the haystack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match<'t> {
+    haystack: &'t str,
+    /// Byte offset of the match start.
+    pub start: usize,
+    /// Byte offset one past the match end.
+    pub end: usize,
+}
+
+impl<'t> Match<'t> {
+    /// The matched text.
+    pub fn as_str(&self) -> &'t str {
+        &self.haystack[self.start..self.end]
+    }
+
+    /// Match length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the match is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Capture groups for one match. Group 0 is the whole match.
+#[derive(Debug, Clone)]
+pub struct Captures<'t> {
+    haystack: &'t str,
+    slots: Vec<Option<usize>>,
+}
+
+impl<'t> Captures<'t> {
+    /// The text of group `i`, if it participated in the match.
+    pub fn get(&self, i: usize) -> Option<Match<'t>> {
+        let start = self.slots.get(2 * i).copied().flatten()?;
+        let end = self.slots.get(2 * i + 1).copied().flatten()?;
+        Some(Match {
+            haystack: self.haystack,
+            start,
+            end,
+        })
+    }
+
+    /// Number of groups (including group 0).
+    pub fn len(&self) -> usize {
+        self.slots.len() / 2
+    }
+
+    /// Always false: group 0 is always present.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl Regex {
+    /// Compiles a pattern with default (case-sensitive) options.
+    pub fn new(pattern: &str) -> Result<Regex, Error> {
+        Self::with_options(pattern, false)
+    }
+
+    /// Compiles a case-insensitive pattern.
+    pub fn case_insensitive(pattern: &str) -> Result<Regex, Error> {
+        Self::with_options(pattern, true)
+    }
+
+    fn with_options(pattern: &str, ci: bool) -> Result<Regex, Error> {
+        let ast = parser::parse(pattern)?;
+        let program = compile::compile(&ast, ci)?;
+        Ok(Regex {
+            program,
+            pattern: pattern.to_string(),
+        })
+    }
+
+    /// The source pattern.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Number of capture groups, including group 0.
+    pub fn group_count(&self) -> usize {
+        self.program.n_groups
+    }
+
+    /// Whether the pattern matches anywhere in `text`.
+    pub fn is_match(&self, text: &str) -> bool {
+        self.find(text).is_some()
+    }
+
+    /// Finds the leftmost match.
+    pub fn find<'t>(&self, text: &'t str) -> Option<Match<'t>> {
+        self.find_at(text, 0)
+    }
+
+    /// Finds the leftmost match starting at or after byte offset `start`.
+    pub fn find_at<'t>(&self, text: &'t str, start: usize) -> Option<Match<'t>> {
+        let (s, e) = vm::search(&self.program, text, start)?;
+        Some(Match {
+            haystack: text,
+            start: s,
+            end: e,
+        })
+    }
+
+    /// Iterates all non-overlapping matches, leftmost-first.
+    pub fn find_iter<'r, 't>(&'r self, text: &'t str) -> Matches<'r, 't> {
+        Matches {
+            regex: self,
+            text,
+            pos: 0,
+        }
+    }
+
+    /// Returns capture groups for the leftmost match.
+    pub fn captures<'t>(&self, text: &'t str) -> Option<Captures<'t>> {
+        self.captures_at(text, 0)
+    }
+
+    /// Returns capture groups for the leftmost match at or after `start`.
+    pub fn captures_at<'t>(&self, text: &'t str, start: usize) -> Option<Captures<'t>> {
+        let slots = vm::search_captures(&self.program, text, start)?;
+        Some(Captures {
+            haystack: text,
+            slots,
+        })
+    }
+
+    /// Iterates captures of all non-overlapping matches.
+    pub fn captures_iter<'r, 't>(&'r self, text: &'t str) -> CaptureMatches<'r, 't> {
+        CaptureMatches {
+            regex: self,
+            text,
+            pos: 0,
+        }
+    }
+
+    /// Replaces every non-overlapping match using a callback.
+    ///
+    /// ```
+    /// use incite_regex::Regex;
+    ///
+    /// let re = Regex::new(r"\d+").unwrap();
+    /// let out = re.replace_all("a1 b22 c333", |m| format!("<{}>", m.as_str().len()));
+    /// assert_eq!(out, "a<1> b<2> c<3>");
+    /// ```
+    pub fn replace_all<F>(&self, text: &str, mut replacement: F) -> String
+    where
+        F: FnMut(&Match<'_>) -> String,
+    {
+        let mut out = String::with_capacity(text.len());
+        let mut cursor = 0;
+        for m in self.find_iter(text) {
+            // Skip empty matches that would not advance past the cursor.
+            if m.end <= cursor && m.start < cursor {
+                continue;
+            }
+            out.push_str(&text[cursor..m.start]);
+            out.push_str(&replacement(&m));
+            cursor = m.end.max(cursor);
+        }
+        out.push_str(&text[cursor..]);
+        out
+    }
+}
+
+/// Iterator over non-overlapping matches.
+pub struct Matches<'r, 't> {
+    regex: &'r Regex,
+    text: &'t str,
+    pos: usize,
+}
+
+impl<'t> Iterator for Matches<'_, 't> {
+    type Item = Match<'t>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos > self.text.len() {
+            return None;
+        }
+        let m = self.regex.find_at(self.text, self.pos)?;
+        self.pos = if m.end == m.start {
+            next_char_boundary(self.text, m.end)
+        } else {
+            m.end
+        };
+        Some(m)
+    }
+}
+
+/// Iterator over captures of non-overlapping matches.
+pub struct CaptureMatches<'r, 't> {
+    regex: &'r Regex,
+    text: &'t str,
+    pos: usize,
+}
+
+impl<'t> Iterator for CaptureMatches<'_, 't> {
+    type Item = Captures<'t>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos > self.text.len() {
+            return None;
+        }
+        let caps = self.regex.captures_at(self.text, self.pos)?;
+        let whole = caps.get(0).expect("group 0 always present");
+        self.pos = if whole.end == whole.start {
+            next_char_boundary(self.text, whole.end)
+        } else {
+            whole.end
+        };
+        Some(caps)
+    }
+}
+
+fn next_char_boundary(s: &str, mut i: usize) -> usize {
+    i += 1;
+    while i < s.len() && !s.is_char_boundary(i) {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, text: &str) -> Option<(usize, usize)> {
+        Regex::new(pat)
+            .unwrap()
+            .find(text)
+            .map(|m| (m.start, m.end))
+    }
+
+    #[test]
+    fn literal_match() {
+        assert_eq!(m("dox", "please dox him"), Some((7, 10)));
+        assert_eq!(m("dox", "nothing here"), None);
+    }
+
+    #[test]
+    fn leftmost_first_semantics() {
+        assert_eq!(m("a+", "baaab"), Some((1, 4)));
+        // Alternation prefers the first branch even when shorter.
+        assert_eq!(m("a|ab", "ab"), Some((0, 1)));
+    }
+
+    #[test]
+    fn greedy_and_lazy_quantifiers() {
+        assert_eq!(m("<.*>", "<a><b>"), Some((0, 6)));
+        assert_eq!(m("<.*?>", "<a><b>"), Some((0, 3)));
+        assert_eq!(m("a??", "a"), Some((0, 0)));
+    }
+
+    #[test]
+    fn counted_repetition() {
+        assert_eq!(m(r"\d{3}", "ab 1234"), Some((3, 6)));
+        assert_eq!(m(r"\d{2,3}", "a 12345"), Some((2, 5)));
+        assert_eq!(m(r"\d{5,}", "1234"), None);
+        assert_eq!(m(r"\d{5,}", "1234567"), Some((0, 7)));
+    }
+
+    #[test]
+    fn character_classes() {
+        assert_eq!(m("[a-c]+", "zzabcz"), Some((2, 5)));
+        assert_eq!(m("[^a-z ]+", "ab 123 cd"), Some((3, 6)));
+        assert_eq!(m(r"[\d-]+", "a 55-66"), Some((2, 7)));
+    }
+
+    #[test]
+    fn anchors() {
+        assert_eq!(m("^abc", "abcdef"), Some((0, 3)));
+        assert_eq!(m("^abc", "xabc"), None);
+        assert_eq!(m("def$", "abcdef"), Some((3, 6)));
+        assert_eq!(m("def$", "defabc"), None);
+        assert_eq!(m("^$", ""), Some((0, 0)));
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert_eq!(m(r"\bcat\b", "the cat sat"), Some((4, 7)));
+        assert_eq!(m(r"\bcat\b", "concatenate"), None);
+        assert_eq!(m(r"\Bcat\B", "concatenate"), Some((3, 6)));
+    }
+
+    #[test]
+    fn captures_basic() {
+        let re = Regex::new(r"(\w+)@(\w+)\.com").unwrap();
+        let caps = re.captures("mail me at someone@example.com now").unwrap();
+        assert_eq!(caps.get(0).unwrap().as_str(), "someone@example.com");
+        assert_eq!(caps.get(1).unwrap().as_str(), "someone");
+        assert_eq!(caps.get(2).unwrap().as_str(), "example");
+        assert_eq!(caps.len(), 3);
+    }
+
+    #[test]
+    fn non_capturing_groups() {
+        let re = Regex::new(r"(?:ab)+(c)").unwrap();
+        let caps = re.captures("ababc").unwrap();
+        assert_eq!(caps.get(0).unwrap().as_str(), "ababc");
+        assert_eq!(caps.get(1).unwrap().as_str(), "c");
+        assert_eq!(caps.len(), 2);
+    }
+
+    #[test]
+    fn optional_group_absent() {
+        let re = Regex::new(r"a(b)?c").unwrap();
+        let caps = re.captures("ac").unwrap();
+        assert!(caps.get(1).is_none());
+    }
+
+    #[test]
+    fn find_iter_non_overlapping() {
+        let re = Regex::new(r"\d+").unwrap();
+        let all: Vec<&str> = re
+            .find_iter("12 and 345 and 6")
+            .map(|m| m.as_str())
+            .collect();
+        assert_eq!(all, vec!["12", "345", "6"]);
+    }
+
+    #[test]
+    fn find_iter_handles_empty_matches() {
+        let re = Regex::new(r"a*").unwrap();
+        let all: Vec<(usize, usize)> = re
+            .find_iter("ba")
+            .map(|m| (m.start, m.end))
+            .take(5)
+            .collect();
+        // Must terminate and advance through the string.
+        assert!(all.len() <= 3, "{all:?}");
+        assert!(all.contains(&(1, 2)));
+    }
+
+    #[test]
+    fn case_insensitive_matching() {
+        let re = Regex::case_insensitive("twitter").unwrap();
+        assert!(re.is_match("check his TWITTER account"));
+        assert!(re.is_match("Twitter"));
+        let re2 = Regex::case_insensitive("[a-z]+").unwrap();
+        assert_eq!(re2.find("ABC").unwrap().as_str(), "ABC");
+    }
+
+    #[test]
+    fn dot_excludes_newline() {
+        assert_eq!(m("a.c", "abc"), Some((0, 3)));
+        assert_eq!(m("a.c", "a\nc"), None);
+    }
+
+    #[test]
+    fn escapes() {
+        assert_eq!(m(r"\.", "a.b"), Some((1, 2)));
+        assert_eq!(m(r"\\", r"a\b"), Some((1, 2)));
+        assert_eq!(m(r"\w+", "héllo!"), Some((0, 6)));
+        assert_eq!(m(r"\s+", "a \t b"), Some((1, 4)));
+        assert_eq!(m(r"\D+", "12ab34"), Some((2, 4)));
+    }
+
+    #[test]
+    fn unicode_input() {
+        assert_eq!(m("ö+", "grün öö"), Some((6, 10)));
+        let re = Regex::new(".").unwrap();
+        assert_eq!(re.find("é").unwrap().len(), 2); // full char, not a byte
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(Regex::new("a(b").is_err());
+        assert!(Regex::new("a)").is_err());
+        assert!(Regex::new("[a-").is_err());
+        assert!(Regex::new("*a").is_err());
+        assert!(Regex::new(r"a{3,2}").is_err());
+        assert!(Regex::new(r"\q").is_err());
+    }
+
+    #[test]
+    fn phone_number_shape() {
+        // The kind of pattern the PII layer builds.
+        let re = Regex::new(r"\(?\d{3}\)?[-. ]?\d{3}[-. ]?\d{4}").unwrap();
+        assert!(re.is_match("call (212) 555-0187 today"));
+        assert!(re.is_match("212.555.0187"));
+        assert!(re.is_match("2125550187"));
+        assert!(!re.is_match("call 555-018 today"));
+    }
+
+    #[test]
+    fn no_pathological_blowup() {
+        // Classic catastrophic-backtracking input; the Pike VM must stay linear.
+        let re = Regex::new("(a+)+$").unwrap();
+        let text = "a".repeat(40) + "b";
+        let start = std::time::Instant::now();
+        assert!(!re.is_match(&text));
+        assert!(start.elapsed().as_secs() < 2, "matching took too long");
+    }
+
+    #[test]
+    fn captures_iter_collects_all() {
+        let re = Regex::new(r"(\w+):(\d+)").unwrap();
+        let pairs: Vec<(String, String)> = re
+            .captures_iter("a:1 b:22 c:333")
+            .map(|c| {
+                (
+                    c.get(1).unwrap().as_str().to_string(),
+                    c.get(2).unwrap().as_str().to_string(),
+                )
+            })
+            .collect();
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(pairs[2], ("c".to_string(), "333".to_string()));
+    }
+}
+
+#[cfg(test)]
+mod replace_tests {
+    use super::*;
+
+    #[test]
+    fn replace_all_basic() {
+        let re = Regex::new(r"\d+").unwrap();
+        let out = re.replace_all("a 12 b 345", |_| "N".to_string());
+        assert_eq!(out, "a N b N");
+    }
+
+    #[test]
+    fn replace_all_with_no_matches_is_identity() {
+        let re = Regex::new("zzz").unwrap();
+        assert_eq!(re.replace_all("hello world", |_| "!".into()), "hello world");
+    }
+
+    #[test]
+    fn replace_all_handles_empty_matches() {
+        let re = Regex::new("x*").unwrap();
+        // Empty matches at each position must terminate and preserve text.
+        let out = re.replace_all("ab", |m| {
+            if m.is_empty() {
+                String::new()
+            } else {
+                "X".into()
+            }
+        });
+        assert_eq!(out, "ab");
+    }
+
+    #[test]
+    fn replace_all_callback_sees_match_text() {
+        let re = Regex::new(r"[a-z]+").unwrap();
+        let out = re.replace_all("ab 12 cd", |m| m.as_str().to_uppercase());
+        assert_eq!(out, "AB 12 CD");
+    }
+
+    #[test]
+    fn replace_all_unicode_boundaries() {
+        let re = Regex::new("é").unwrap();
+        let out = re.replace_all("café déjà", |_| "e".into());
+        assert_eq!(out, "cafe dejà"); // only 'é' is replaced, 'à' stays
+    }
+}

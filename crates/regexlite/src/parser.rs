@@ -1,0 +1,472 @@
+//! Recursive-descent pattern parser.
+//!
+//! Grammar (precedence low → high):
+//!
+//! ```text
+//! alternation := concat ('|' concat)*
+//! concat      := repeat*
+//! repeat      := atom quantifier?
+//! quantifier  := '*' | '+' | '?' | '{' n (',' m?)? '}'   with optional '?' (lazy)
+//! atom        := literal | '.' | class | escape | anchor | group
+//! group       := '(' ('?:')? alternation ')'
+//! ```
+
+use crate::ast::{Ast, CharClass, ClassItem, PerlClass, Repeat};
+use crate::error::Error;
+
+/// Maximum counted-repetition bound, to keep compiled programs small.
+const MAX_REPEAT: u32 = 1000;
+
+struct Parser<'p> {
+    pattern: &'p str,
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    next_group: u32,
+}
+
+/// Parses a pattern into an AST.
+pub fn parse(pattern: &str) -> Result<Ast, Error> {
+    let mut p = Parser {
+        pattern,
+        chars: pattern.char_indices().collect(),
+        pos: 0,
+        next_group: 1,
+    };
+    let ast = p.alternation()?;
+    if !p.at_end() {
+        return Err(Error::new("unexpected ')'", p.offset()));
+    }
+    Ok(ast)
+}
+
+impl<'p> Parser<'p> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    fn offset(&self) -> usize {
+        self.chars
+            .get(self.pos)
+            .map(|(i, _)| *i)
+            .unwrap_or(self.pattern.len())
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).map(|(_, c)| *c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, want: char) -> bool {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn alternation(&mut self) -> Result<Ast, Error> {
+        let mut branches = vec![self.concat()?];
+        while self.eat('|') {
+            branches.push(self.concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            Ast::Alternate(branches)
+        })
+    }
+
+    fn concat(&mut self) -> Result<Ast, Error> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.repeat()?);
+        }
+        Ok(match items.len() {
+            0 => Ast::Empty,
+            1 => items.pop().unwrap(),
+            _ => Ast::Concat(items),
+        })
+    }
+
+    fn repeat(&mut self) -> Result<Ast, Error> {
+        let atom = self.atom()?;
+        let repeat = match self.peek() {
+            Some('*') => {
+                self.bump();
+                Some(Repeat {
+                    min: 0,
+                    max: None,
+                    greedy: true,
+                })
+            }
+            Some('+') => {
+                self.bump();
+                Some(Repeat {
+                    min: 1,
+                    max: None,
+                    greedy: true,
+                })
+            }
+            Some('?') => {
+                self.bump();
+                Some(Repeat {
+                    min: 0,
+                    max: Some(1),
+                    greedy: true,
+                })
+            }
+            Some('{') => self.counted_repeat()?,
+            _ => None,
+        };
+        match repeat {
+            None => Ok(atom),
+            Some(mut rep) => {
+                if matches!(
+                    atom,
+                    Ast::StartAnchor | Ast::EndAnchor | Ast::WordBoundary { .. } | Ast::Empty
+                ) {
+                    return Err(Error::new(
+                        "quantifier on zero-width assertion",
+                        self.offset(),
+                    ));
+                }
+                if self.eat('?') {
+                    rep.greedy = false;
+                }
+                Ok(Ast::Repeat {
+                    node: Box::new(atom),
+                    repeat: rep,
+                })
+            }
+        }
+    }
+
+    /// Parses `{m}`, `{m,}` or `{m,n}`. Returns `None` (and rewinds) when the
+    /// brace does not introduce a valid counted repetition, in which case it
+    /// is treated as a literal `{`.
+    fn counted_repeat(&mut self) -> Result<Option<Repeat>, Error> {
+        let save = self.pos;
+        self.bump(); // '{'
+        let min = self.number();
+        let Some(min) = min else {
+            self.pos = save;
+            return Ok(None);
+        };
+        let max = if self.eat(',') {
+            if self.peek() == Some('}') {
+                None
+            } else {
+                match self.number() {
+                    Some(n) => Some(n),
+                    None => {
+                        self.pos = save;
+                        return Ok(None);
+                    }
+                }
+            }
+        } else {
+            Some(min)
+        };
+        if !self.eat('}') {
+            self.pos = save;
+            return Ok(None);
+        }
+        if let Some(max) = max {
+            if max < min {
+                return Err(Error::new("repetition max below min", self.offset()));
+            }
+        }
+        if min > MAX_REPEAT || max.is_some_and(|m| m > MAX_REPEAT) {
+            return Err(Error::new("repetition bound too large", self.offset()));
+        }
+        Ok(Some(Repeat {
+            min,
+            max,
+            greedy: true,
+        }))
+    }
+
+    fn number(&mut self) -> Option<u32> {
+        let mut value: u32 = 0;
+        let mut any = false;
+        while let Some(c) = self.peek() {
+            let Some(d) = c.to_digit(10) else { break };
+            value = value.checked_mul(10)?.checked_add(d)?;
+            any = true;
+            self.bump();
+        }
+        any.then_some(value)
+    }
+
+    fn atom(&mut self) -> Result<Ast, Error> {
+        let off = self.offset();
+        match self.bump() {
+            None => Err(Error::new("unexpected end of pattern", off)),
+            Some('(') => self.group(),
+            Some('[') => Ok(Ast::Class(self.class()?)),
+            Some('.') => Ok(Ast::AnyChar),
+            Some('^') => Ok(Ast::StartAnchor),
+            Some('$') => Ok(Ast::EndAnchor),
+            Some('\\') => self.escape(),
+            Some(c @ ('*' | '+' | '?')) => {
+                Err(Error::new(format!("dangling quantifier '{c}'"), off))
+            }
+            Some(c) => Ok(Ast::Literal(c)),
+        }
+    }
+
+    fn group(&mut self) -> Result<Ast, Error> {
+        let capturing = if self.peek() == Some('?') {
+            let save = self.pos;
+            self.bump();
+            if self.eat(':') {
+                false
+            } else {
+                return Err(Error::new("unsupported group flag", self.chars[save].0));
+            }
+        } else {
+            true
+        };
+        let index = if capturing {
+            let i = self.next_group;
+            self.next_group += 1;
+            Some(i)
+        } else {
+            None
+        };
+        let inner = self.alternation()?;
+        if !self.eat(')') {
+            return Err(Error::new("unclosed group", self.offset()));
+        }
+        Ok(Ast::Group {
+            node: Box::new(inner),
+            index,
+        })
+    }
+
+    fn escape(&mut self) -> Result<Ast, Error> {
+        let off = self.offset();
+        match self.bump() {
+            None => Err(Error::new("trailing backslash", off)),
+            Some('d') => Ok(Ast::Perl {
+                class: PerlClass::Digit,
+                negated: false,
+            }),
+            Some('D') => Ok(Ast::Perl {
+                class: PerlClass::Digit,
+                negated: true,
+            }),
+            Some('w') => Ok(Ast::Perl {
+                class: PerlClass::Word,
+                negated: false,
+            }),
+            Some('W') => Ok(Ast::Perl {
+                class: PerlClass::Word,
+                negated: true,
+            }),
+            Some('s') => Ok(Ast::Perl {
+                class: PerlClass::Space,
+                negated: false,
+            }),
+            Some('S') => Ok(Ast::Perl {
+                class: PerlClass::Space,
+                negated: true,
+            }),
+            Some('b') => Ok(Ast::WordBoundary { negated: false }),
+            Some('B') => Ok(Ast::WordBoundary { negated: true }),
+            Some('n') => Ok(Ast::Literal('\n')),
+            Some('t') => Ok(Ast::Literal('\t')),
+            Some('r') => Ok(Ast::Literal('\r')),
+            Some(c) if c.is_ascii_punctuation() || c == ' ' => Ok(Ast::Literal(c)),
+            Some(c) => Err(Error::new(format!("unknown escape '\\{c}'"), off)),
+        }
+    }
+
+    fn class(&mut self) -> Result<CharClass, Error> {
+        let negated = self.eat('^');
+        let mut items = Vec::new();
+        // `]` as the very first item is a literal.
+        if self.peek() == Some(']') {
+            self.bump();
+            items.push(ClassItem::Char(']'));
+        }
+        loop {
+            let off = self.offset();
+            match self.bump() {
+                None => return Err(Error::new("unclosed character class", off)),
+                Some(']') => break,
+                Some('\\') => {
+                    let eoff = self.offset();
+                    match self.bump() {
+                        None => return Err(Error::new("trailing backslash in class", eoff)),
+                        Some('d') => items.push(ClassItem::Perl(PerlClass::Digit)),
+                        Some('w') => items.push(ClassItem::Perl(PerlClass::Word)),
+                        Some('s') => items.push(ClassItem::Perl(PerlClass::Space)),
+                        Some('n') => items.push(ClassItem::Char('\n')),
+                        Some('t') => items.push(ClassItem::Char('\t')),
+                        Some('r') => items.push(ClassItem::Char('\r')),
+                        Some(c) if c.is_ascii_punctuation() || c == ' ' => {
+                            items.push(ClassItem::Char(c))
+                        }
+                        Some(c) => {
+                            return Err(Error::new(format!("unknown class escape '\\{c}'"), eoff))
+                        }
+                    }
+                }
+                Some(lo) => {
+                    // Possible range `lo-hi` (a trailing '-' is a literal).
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).map(|(_, c)| *c) != Some(']')
+                        && self.chars.get(self.pos + 1).is_some()
+                    {
+                        self.bump(); // '-'
+                        let hoff = self.offset();
+                        let hi = match self.bump() {
+                            None => return Err(Error::new("unclosed character class", hoff)),
+                            Some('\\') => match self.bump() {
+                                Some(c) if c.is_ascii_punctuation() => c,
+                                _ => return Err(Error::new("invalid range end escape", hoff)),
+                            },
+                            Some(c) => c,
+                        };
+                        if hi < lo {
+                            return Err(Error::new("invalid class range", hoff));
+                        }
+                        items.push(ClassItem::Range(lo, hi));
+                    } else {
+                        items.push(ClassItem::Char(lo));
+                    }
+                }
+            }
+        }
+        if items.is_empty() {
+            return Err(Error::new("empty character class", self.offset()));
+        }
+        Ok(CharClass { items, negated })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Ast;
+
+    #[test]
+    fn parses_literal_concat() {
+        let ast = parse("abc").unwrap();
+        assert_eq!(
+            ast,
+            Ast::Concat(vec![
+                Ast::Literal('a'),
+                Ast::Literal('b'),
+                Ast::Literal('c')
+            ])
+        );
+    }
+
+    #[test]
+    fn parses_alternation_precedence() {
+        let ast = parse("ab|c").unwrap();
+        match ast {
+            Ast::Alternate(branches) => {
+                assert_eq!(branches.len(), 2);
+                assert_eq!(branches[1], Ast::Literal('c'));
+            }
+            other => panic!("expected alternation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_indices_are_assigned_in_order() {
+        let ast = parse("(a)(?:b)(c)").unwrap();
+        assert_eq!(ast.capture_count(), 2);
+    }
+
+    #[test]
+    fn counted_repeat_forms() {
+        assert!(parse("a{3}").is_ok());
+        assert!(parse("a{3,}").is_ok());
+        assert!(parse("a{3,5}").is_ok());
+        assert!(parse("a{5,3}").is_err());
+        assert!(parse("a{2000}").is_err());
+    }
+
+    #[test]
+    fn brace_without_number_is_literal() {
+        // `{x}` is not a quantifier; it parses as literals.
+        let ast = parse("a{x}").unwrap();
+        assert_eq!(
+            ast,
+            Ast::Concat(vec![
+                Ast::Literal('a'),
+                Ast::Literal('{'),
+                Ast::Literal('x'),
+                Ast::Literal('}'),
+            ])
+        );
+    }
+
+    #[test]
+    fn class_with_leading_bracket_literal() {
+        let ast = parse("[]a]").unwrap();
+        match ast {
+            Ast::Class(c) => {
+                assert!(!c.negated);
+                assert_eq!(c.items.len(), 2);
+            }
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_trailing_dash_is_literal() {
+        let ast = parse("[a-]").unwrap();
+        match ast {
+            Ast::Class(c) => assert_eq!(c.items, vec![ClassItem::Char('a'), ClassItem::Char('-')]),
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_patterns() {
+        for bad in ["(", ")", "[", "[z-a]", "a**", "*", "\\", "(?P<x>a)"] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn quantifier_on_anchor_rejected() {
+        assert!(parse("^*").is_err());
+        assert!(parse(r"\b+").is_err());
+    }
+
+    #[test]
+    fn lazy_flags_are_parsed() {
+        let ast = parse("a+?").unwrap();
+        match ast {
+            Ast::Repeat { repeat, .. } => assert!(!repeat.greedy),
+            other => panic!("expected repeat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_pattern_and_empty_branches() {
+        assert_eq!(parse("").unwrap(), Ast::Empty);
+        let ast = parse("a|").unwrap();
+        match ast {
+            Ast::Alternate(b) => assert_eq!(b[1], Ast::Empty),
+            other => panic!("{other:?}"),
+        }
+    }
+}

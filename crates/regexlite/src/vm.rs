@@ -1,0 +1,259 @@
+//! Pike VM: NFA simulation with capture slots in linear time.
+//!
+//! The VM advances all live threads in lock step over the input, keeping
+//! threads ordered by priority so greedy/lazy quantifier semantics and
+//! leftmost-first alternation fall out of the ordering. Captures travel with
+//! each thread as reference-counted slot vectors (cloned on write).
+
+use crate::ast::PerlClass;
+use crate::compile::{perl_matches, Inst, Program};
+use std::rc::Rc;
+
+type Slots = Rc<Vec<Option<usize>>>;
+
+struct ThreadList {
+    /// Dense list of (pc, slots), in priority order.
+    threads: Vec<(usize, Slots)>,
+    /// Sparse visited markers: `seen[pc] == gen` means pc already queued.
+    seen: Vec<u64>,
+    gen: u64,
+}
+
+impl ThreadList {
+    fn new(n: usize) -> Self {
+        ThreadList {
+            threads: Vec::new(),
+            seen: vec![0; n],
+            gen: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.threads.clear();
+        self.gen += 1;
+    }
+}
+
+/// Zero-width assertion context at an input position.
+#[derive(Clone, Copy)]
+struct Ctx {
+    at_start: bool,
+    at_end: bool,
+    prev_is_word: bool,
+    next_is_word: bool,
+    pos: usize,
+}
+
+fn is_word(c: char) -> bool {
+    perl_matches(PerlClass::Word, c)
+}
+
+/// Adds a thread, following epsilon transitions until a `Char`/`Match`.
+fn add_thread(prog: &Program, list: &mut ThreadList, pc: usize, slots: Slots, ctx: Ctx) {
+    if list.seen[pc] == list.gen {
+        return;
+    }
+    list.seen[pc] = list.gen;
+    match &prog.insts[pc] {
+        Inst::Jmp(t) => add_thread(prog, list, *t, slots, ctx),
+        Inst::Split(a, b) => {
+            add_thread(prog, list, *a, slots.clone(), ctx);
+            add_thread(prog, list, *b, slots, ctx);
+        }
+        Inst::Save(n) => {
+            let mut new_slots = slots;
+            {
+                let v = Rc::make_mut(&mut new_slots);
+                if *n < v.len() {
+                    v[*n] = Some(ctx.pos);
+                }
+            }
+            add_thread(prog, list, pc + 1, new_slots, ctx);
+        }
+        Inst::AssertStart => {
+            if ctx.at_start {
+                add_thread(prog, list, pc + 1, slots, ctx);
+            }
+        }
+        Inst::AssertEnd => {
+            if ctx.at_end {
+                add_thread(prog, list, pc + 1, slots, ctx);
+            }
+        }
+        Inst::WordBoundary { negated } => {
+            let boundary = ctx.prev_is_word != ctx.next_is_word;
+            if boundary != *negated {
+                add_thread(prog, list, pc + 1, slots, ctx);
+            }
+        }
+        Inst::Char(_) | Inst::Match => {
+            list.threads.push((pc, slots));
+        }
+    }
+}
+
+/// Runs the VM over `text[start..]`, returning the capture slots of the
+/// leftmost match (greedy within the leftmost start).
+fn run(prog: &Program, text: &str, start: usize) -> Option<Vec<Option<usize>>> {
+    let n = prog.insts.len();
+    let mut clist = ThreadList::new(n);
+    let mut nlist = ThreadList::new(n);
+    let empty_slots: Slots = Rc::new(vec![None; prog.n_slots()]);
+
+    let mut best: Option<Vec<Option<usize>>> = None;
+
+    // Character stream with byte offsets; we iterate positions start..=len.
+    let tail = &text[start..];
+    let mut chars = tail.char_indices().map(|(i, c)| (start + i, c)).peekable();
+    let mut prev_char: Option<char> = if start == 0 {
+        None
+    } else {
+        text[..start].chars().next_back()
+    };
+
+    clist.clear();
+    loop {
+        let (pos, cur) = match chars.peek().copied() {
+            Some((i, c)) => (i, Some(c)),
+            None => (text.len(), None),
+        };
+        let ctx = Ctx {
+            at_start: pos == 0,
+            at_end: cur.is_none(),
+            prev_is_word: prev_char.is_some_and(is_word),
+            next_is_word: cur.is_some_and(is_word),
+            pos,
+        };
+
+        // Seed a new lowest-priority thread at this position while no match
+        // has been found (unanchored leftmost search).
+        if best.is_none() {
+            add_thread(prog, &mut clist, 0, empty_slots.clone(), ctx);
+        }
+        if clist.threads.is_empty() && best.is_some() {
+            break;
+        }
+
+        nlist.clear();
+        let threads = std::mem::take(&mut clist.threads);
+        for (pc, slots) in threads {
+            match &prog.insts[pc] {
+                Inst::Char(pred) => {
+                    if let Some(c) = cur {
+                        if pred.matches(c, prog.case_insensitive) {
+                            let next_pos = pos + c.len_utf8();
+                            // Context for epsilon closure at the *next* position.
+                            let next_ctx = Ctx {
+                                at_start: false,
+                                at_end: next_pos >= text.len(),
+                                prev_is_word: is_word(c),
+                                next_is_word: next_char_at(text, next_pos).is_some_and(is_word),
+                                pos: next_pos,
+                            };
+                            add_thread(prog, &mut nlist, pc + 1, slots, next_ctx);
+                        }
+                    }
+                }
+                Inst::Match => {
+                    // Highest-priority match at this step: record it and cut
+                    // all lower-priority threads.
+                    best = Some(slots.as_ref().clone());
+                    break;
+                }
+                _ => unreachable!("epsilon instruction in thread list"),
+            }
+        }
+
+        std::mem::swap(&mut clist, &mut nlist);
+        match chars.next() {
+            Some((_, c)) => prev_char = Some(c),
+            None => break,
+        }
+    }
+
+    best
+}
+
+fn next_char_at(text: &str, pos: usize) -> Option<char> {
+    text.get(pos..).and_then(|s| s.chars().next())
+}
+
+/// Finds the leftmost match; returns `(start, end)` byte offsets.
+pub fn search(prog: &Program, text: &str, start: usize) -> Option<(usize, usize)> {
+    let slots = run(prog, text, start)?;
+    Some((slots[0]?, slots[1]?))
+}
+
+/// Finds the leftmost match and returns all capture slots.
+pub fn search_captures(prog: &Program, text: &str, start: usize) -> Option<Vec<Option<usize>>> {
+    run(prog, text, start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::parser::parse;
+
+    fn prog(pat: &str) -> Program {
+        compile(&parse(pat).unwrap(), false).unwrap()
+    }
+
+    #[test]
+    fn unanchored_search_finds_interior_match() {
+        let p = prog("bc");
+        assert_eq!(search(&p, "abcd", 0), Some((1, 3)));
+    }
+
+    #[test]
+    fn leftmost_wins_over_longer_later_match() {
+        let p = prog("a+");
+        assert_eq!(search(&p, "a aaaa", 0), Some((0, 1)));
+    }
+
+    #[test]
+    fn search_from_offset() {
+        let p = prog("a+");
+        assert_eq!(search(&p, "a aaaa", 1), Some((2, 6)));
+    }
+
+    #[test]
+    fn anchored_end_requires_full_tail() {
+        let p = prog("b$");
+        assert_eq!(search(&p, "ab", 0), Some((1, 2)));
+        assert_eq!(search(&p, "ba", 0), None);
+    }
+
+    #[test]
+    fn captures_survive_priority_resolution() {
+        let p = prog("(a+)(b?)");
+        let slots = search_captures(&p, "xaab", 0).unwrap();
+        assert_eq!(slots[0], Some(1));
+        assert_eq!(slots[1], Some(4));
+        assert_eq!((slots[2], slots[3]), (Some(1), Some(3)));
+        assert_eq!((slots[4], slots[5]), (Some(3), Some(4)));
+    }
+
+    #[test]
+    fn word_boundary_at_offsets() {
+        let p = prog(r"\bword\b");
+        assert_eq!(search(&p, "a word.", 0), Some((2, 6)));
+        assert_eq!(search(&p, "sword", 0), None);
+        // \b just after the search start offset still sees prior context.
+        assert_eq!(search(&p, "sword", 1), None);
+    }
+
+    #[test]
+    fn empty_pattern_matches_everywhere() {
+        let p = prog("");
+        assert_eq!(search(&p, "xyz", 0), Some((0, 0)));
+        assert_eq!(search(&p, "xyz", 2), Some((2, 2)));
+        assert_eq!(search(&p, "", 0), Some((0, 0)));
+    }
+
+    #[test]
+    fn multibyte_offsets_are_bytes() {
+        let p = prog("b");
+        assert_eq!(search(&p, "éb", 0), Some((2, 3)));
+    }
+}

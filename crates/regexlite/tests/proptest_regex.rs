@@ -1,0 +1,186 @@
+//! Property tests: the Pike VM against a reference backtracking matcher on
+//! a restricted pattern family, plus robustness invariants.
+
+use incite_regex::Regex;
+use proptest::prelude::*;
+
+/// A tiny reference matcher for patterns built from literals, `.`, `*`, `?`
+/// over a small alphabet — classic recursive backtracking, obviously
+/// correct, exponential in the worst case (inputs are kept short).
+fn reference_match_here(pat: &[char], text: &[char]) -> bool {
+    match pat {
+        [] => true,
+        [c, '*', rest @ ..] => {
+            let mut i = 0;
+            loop {
+                if reference_match_here(rest, &text[i..]) {
+                    return true;
+                }
+                if i < text.len() && (*c == '.' || text[i] == *c) {
+                    i += 1;
+                } else {
+                    return false;
+                }
+            }
+        }
+        [c, '?', rest @ ..] => {
+            if reference_match_here(rest, text) {
+                return true;
+            }
+            !text.is_empty()
+                && (*c == '.' || text[0] == *c)
+                && reference_match_here(rest, &text[1..])
+        }
+        [c, rest @ ..] => {
+            !text.is_empty()
+                && (*c == '.' || text[0] == *c)
+                && reference_match_here(rest, &text[1..])
+        }
+    }
+}
+
+fn reference_is_match(pattern: &str, text: &str) -> bool {
+    let pat: Vec<char> = pattern.chars().collect();
+    let txt: Vec<char> = text.chars().collect();
+    (0..=txt.len()).any(|i| reference_match_here(&pat, &txt[i..]))
+}
+
+/// Generates syntactically valid patterns in the restricted family:
+/// literal/dot atoms, each optionally starred or optioned, never two
+/// quantifiers in a row.
+fn simple_pattern() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        (
+            prop::sample::select(vec!['a', 'b', 'c', '.']),
+            prop::sample::select(vec!["", "*", "?"]),
+        ),
+        0..8,
+    )
+    .prop_map(|atoms| {
+        atoms
+            .into_iter()
+            .map(|(c, q)| format!("{c}{q}"))
+            .collect::<String>()
+    })
+}
+
+proptest! {
+    #[test]
+    fn agrees_with_reference_matcher(
+        pattern in simple_pattern(),
+        text in "[abc]{0,12}",
+    ) {
+        let re = Regex::new(&pattern).expect("restricted family always compiles");
+        prop_assert_eq!(
+            re.is_match(&text),
+            reference_is_match(&pattern, &text),
+            "pattern {:?} text {:?}", pattern, text
+        );
+    }
+
+    #[test]
+    fn match_offsets_are_valid_slices(
+        pattern in simple_pattern(),
+        text in "[abc ]{0,16}",
+    ) {
+        let re = Regex::new(&pattern).unwrap();
+        if let Some(m) = re.find(&text) {
+            prop_assert!(m.start <= m.end);
+            prop_assert!(m.end <= text.len());
+            prop_assert!(text.is_char_boundary(m.start));
+            prop_assert!(text.is_char_boundary(m.end));
+        }
+    }
+
+    #[test]
+    fn find_iter_terminates_and_is_ordered(
+        pattern in simple_pattern(),
+        text in "[abc]{0,20}",
+    ) {
+        let re = Regex::new(&pattern).unwrap();
+        let matches: Vec<_> = re.find_iter(&text).take(100).collect();
+        prop_assert!(matches.len() <= text.len() + 1, "too many matches");
+        for w in matches.windows(2) {
+            prop_assert!(w[0].end <= w[1].start || w[0].start < w[1].start);
+        }
+    }
+
+    #[test]
+    fn compile_never_panics_on_arbitrary_input(pattern in ".{0,20}") {
+        let _ = Regex::new(&pattern); // Ok or Err, never panic
+    }
+
+    #[test]
+    fn matching_never_panics_on_arbitrary_text(text in ".{0,64}") {
+        // A fixed moderately complex pattern against arbitrary unicode.
+        let re = Regex::new(r"(\w+)[-. ]?(\d{2,4})|\bfoo\b").unwrap();
+        let _ = re.find(&text);
+        let _ = re.captures(&text);
+        let _: Vec<_> = re.find_iter(&text).take(64).collect();
+    }
+
+    #[test]
+    fn case_insensitive_is_superset_of_sensitive(text in "[aAbB]{0,12}") {
+        let cs = Regex::new("ab").unwrap();
+        let ci = Regex::case_insensitive("ab").unwrap();
+        if cs.is_match(&text) {
+            prop_assert!(ci.is_match(&text));
+        }
+    }
+
+    #[test]
+    fn empty_pattern_matches_at_start(text in ".{0,12}") {
+        let re = Regex::new("").unwrap();
+        let m = re.find(&text).unwrap();
+        prop_assert_eq!((m.start, m.end), (0, 0));
+    }
+}
+
+proptest! {
+    #[test]
+    fn counted_repetition_matches_expansion(
+        m in 0usize..4,
+        extra in 0usize..4,
+        text in "[ab]{0,10}",
+    ) {
+        // a{m,n} must be equivalent to the hand-expanded
+        // "a"*m + "a?"*(n-m) for full-width anchored matching.
+        let n = m + extra;
+        let counted = Regex::new(&format!("^a{{{m},{n}}}$")).unwrap();
+        let expanded = {
+            let mut p = String::from("^");
+            p.push_str(&"a".repeat(m));
+            p.push_str(&"a?".repeat(n - m));
+            p.push('$');
+            Regex::new(&p).unwrap()
+        };
+        prop_assert_eq!(
+            counted.is_match(&text),
+            expanded.is_match(&text),
+            "m={} n={} text={:?}", m, n, text
+        );
+    }
+
+    #[test]
+    fn captures_group0_equals_find(pattern in simple_pattern(), text in "[abc]{0,12}") {
+        let re = Regex::new(&pattern).unwrap();
+        let via_find = re.find(&text).map(|m| (m.start, m.end));
+        let via_caps = re
+            .captures(&text)
+            .and_then(|c| c.get(0).map(|m| (m.start, m.end)));
+        prop_assert_eq!(via_find, via_caps);
+    }
+
+    #[test]
+    fn word_boundary_consistency(text in "[a cb]{0,16}") {
+        // \bX and X agree whenever the match starts at a boundary by
+        // construction (start-of-text or after a space).
+        let plain = Regex::new("ab").unwrap();
+        let bounded = Regex::new(r"\bab").unwrap();
+        if let Some(m) = bounded.find(&text) {
+            // Every bounded match is also a plain match at the same spot.
+            let pm = plain.find_at(&text, m.start).unwrap();
+            prop_assert_eq!((pm.start, pm.end), (m.start, m.end));
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Chi-square tests.
+//!
+//! §6.2: "we ran several one-way chi-square tests, while correcting for
+//! multiple testing" to compare reporting subcategories across data sets and
+//! gender splits. The one-way (goodness-of-fit) test compares observed
+//! counts against expected counts (uniform by default).
+
+use crate::special::chi_square_sf;
+
+/// The outcome of a chi-square test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquareResult {
+    /// The chi-square statistic.
+    pub statistic: f64,
+    /// Degrees of freedom.
+    pub df: usize,
+    /// Right-tail p-value.
+    pub p_value: f64,
+}
+
+/// One-way (goodness-of-fit) chi-square test.
+///
+/// `observed` are category counts; `expected` are expected counts of the
+/// same length, or `None` for a uniform expectation. Returns `None` for
+/// fewer than two categories, mismatched lengths, or any non-positive
+/// expected count.
+pub fn chi_square_gof(observed: &[f64], expected: Option<&[f64]>) -> Option<ChiSquareResult> {
+    if observed.len() < 2 {
+        return None;
+    }
+    let total: f64 = observed.iter().sum();
+    let uniform = vec![total / observed.len() as f64; observed.len()];
+    let expected = match expected {
+        Some(e) => {
+            if e.len() != observed.len() {
+                return None;
+            }
+            e
+        }
+        None => &uniform,
+    };
+    if expected.iter().any(|&e| e <= 0.0) {
+        return None;
+    }
+    let statistic: f64 = observed
+        .iter()
+        .zip(expected)
+        .map(|(&o, &e)| (o - e) * (o - e) / e)
+        .sum();
+    let df = observed.len() - 1;
+    Some(ChiSquareResult {
+        statistic,
+        df,
+        p_value: chi_square_sf(statistic, df as f64),
+    })
+}
+
+/// Chi-square test of independence on a 2×2 contingency table
+/// `[[a, b], [c, d]]` (without Yates correction, matching
+/// `scipy.stats.chi2_contingency(correction=False)`).
+pub fn chi_square_2x2(a: f64, b: f64, c: f64, d: f64) -> Option<ChiSquareResult> {
+    let n = a + b + c + d;
+    if n <= 0.0 {
+        return None;
+    }
+    let row1 = a + b;
+    let row2 = c + d;
+    let col1 = a + c;
+    let col2 = b + d;
+    if row1 <= 0.0 || row2 <= 0.0 || col1 <= 0.0 || col2 <= 0.0 {
+        return None;
+    }
+    let statistic = n * (a * d - b * c).powi(2) / (row1 * row2 * col1 * col2);
+    Some(ChiSquareResult {
+        statistic,
+        df: 1,
+        p_value: chi_square_sf(statistic, 1.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_observations_give_zero_statistic() {
+        let r = chi_square_gof(&[25.0, 25.0, 25.0, 25.0], None).unwrap();
+        assert_eq!(r.statistic, 0.0);
+        assert_eq!(r.df, 3);
+        assert!((r.p_value - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_observations_are_significant() {
+        let r = chi_square_gof(&[90.0, 10.0], None).unwrap();
+        // statistic = (40^2/50)*2 = 64
+        assert!((r.statistic - 64.0).abs() < 1e-9);
+        assert!(r.p_value < 1e-10);
+    }
+
+    #[test]
+    fn explicit_expected_counts() {
+        // Observed matches expected exactly.
+        let r = chi_square_gof(&[30.0, 70.0], Some(&[30.0, 70.0])).unwrap();
+        assert_eq!(r.statistic, 0.0);
+        // scipy reference: chisquare([16,18,16,14,12,12]) → stat 2.0, p≈0.849.
+        let r2 = chi_square_gof(&[16.0, 18.0, 16.0, 14.0, 12.0, 12.0], None).unwrap();
+        assert!((r2.statistic - 2.0).abs() < 1e-9);
+        assert!((r2.p_value - 0.8491).abs() < 1e-3);
+    }
+
+    #[test]
+    fn invalid_inputs_return_none() {
+        assert!(chi_square_gof(&[5.0], None).is_none());
+        assert!(chi_square_gof(&[5.0, 5.0], Some(&[5.0])).is_none());
+        assert!(chi_square_gof(&[5.0, 5.0], Some(&[0.0, 10.0])).is_none());
+    }
+
+    #[test]
+    fn contingency_2x2_reference() {
+        // Hand computation for [[10, 20], [30, 40]] without Yates correction:
+        // expected cells (12, 18, 28, 42) → χ² = 4/12 + 4/18 + 4/28 + 4/42
+        // = 0.79365, p = P(χ²₁ ≥ 0.79365) ≈ 0.373.
+        let r = chi_square_2x2(10.0, 20.0, 30.0, 40.0).unwrap();
+        assert!(
+            (r.statistic - 0.79365).abs() < 1e-4,
+            "stat = {}",
+            r.statistic
+        );
+        assert!((r.p_value - 0.373).abs() < 1e-3, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn contingency_degenerate_returns_none() {
+        assert!(chi_square_2x2(0.0, 0.0, 0.0, 0.0).is_none());
+        assert!(chi_square_2x2(5.0, 5.0, 0.0, 0.0).is_none());
+    }
+}

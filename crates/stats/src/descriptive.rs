@@ -1,0 +1,136 @@
+//! Descriptive statistics.
+//!
+//! §6.3 reports thread-position distributions as median / mean / standard
+//! deviation; those summaries come from here.
+
+/// Arithmetic mean. `NaN` for empty input.
+pub fn mean(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return f64::NAN;
+    }
+    data.iter().sum::<f64>() / data.len() as f64
+}
+
+/// Unbiased sample variance (n−1 denominator). `NaN` for fewer than two
+/// observations.
+pub fn variance(data: &[f64]) -> f64 {
+    if data.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(data);
+    data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (data.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(data: &[f64]) -> f64 {
+    variance(data).sqrt()
+}
+
+/// Median (average of middle two for even n). `NaN` for empty input.
+pub fn median(data: &[f64]) -> f64 {
+    quantile(data, 0.5)
+}
+
+/// Quantile by linear interpolation between order statistics (type 7, the
+/// numpy/R default). `q` is clamped to `[0, 1]`. `NaN` for empty input.
+pub fn quantile(data: &[f64], q: f64) -> f64 {
+    if data.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Natural log transform of positive counts, used before t-tests on thread
+/// sizes "in order to ensure symmetric distribution" (§6.3). Non-positive
+/// values are dropped.
+pub fn log_transform(data: &[f64]) -> Vec<f64> {
+    data.iter()
+        .copied()
+        .filter(|x| *x > 0.0)
+        .map(f64::ln)
+        .collect()
+}
+
+/// Summary of a sample: n, mean, median, standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    pub n: usize,
+    pub mean: f64,
+    pub median: f64,
+    pub std_dev: f64,
+}
+
+/// Computes a [`Summary`].
+pub fn summarize(data: &[f64]) -> Summary {
+    Summary {
+        n: data.len(),
+        mean: mean(data),
+        median: median(data),
+        std_dev: std_dev(data),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!(mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn variance_known_value() {
+        // Var([2,4,4,4,5,5,7,9]) with n-1 = 32/7.
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((variance(&data) - 32.0 / 7.0).abs() < 1e-12);
+        assert!(variance(&[1.0]).is_nan());
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!(median(&[]).is_nan());
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let data = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile(&data, 0.0), 10.0);
+        assert_eq!(quantile(&data, 1.0), 40.0);
+        assert!((quantile(&data, 0.25) - 17.5).abs() < 1e-12);
+        // Out-of-range q is clamped.
+        assert_eq!(quantile(&data, 2.0), 40.0);
+    }
+
+    #[test]
+    fn log_transform_drops_nonpositive() {
+        let out = log_transform(&[1.0, 0.0, -2.0, std::f64::consts::E]);
+        assert_eq!(out.len(), 2);
+        assert!((out[0] - 0.0).abs() < 1e-12);
+        assert!((out[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = summarize(&data);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert!((s.std_dev - (2.5f64).sqrt()).abs() < 1e-12);
+    }
+}

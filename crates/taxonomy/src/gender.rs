@@ -1,0 +1,81 @@
+//! Pronoun-inferred target gender (§5.6, Table 10).
+//!
+//! The paper infers each target's *likely* gender from the most frequent
+//! gendered pronoun group in the text ("he/him/his" vs "she/her/hers") and is
+//! explicit that the method is approximate: it mislabels when the attacker
+//! misgenders the target (itself a form of harassment, "deadnaming"). The
+//! manual evaluation found 94.3 % agreement on a 123-dox sample.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The inferred likely gender of a harassment target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Gender {
+    /// No gendered pronouns found, or a tie between pronoun groups.
+    Unknown,
+    /// "she/her/hers" pronouns dominate.
+    Female,
+    /// "he/him/his" pronouns dominate.
+    Male,
+}
+
+impl Default for Gender {
+    /// `Unknown` — the value when no gendered pronouns are present.
+    fn default() -> Self {
+        Gender::Unknown
+    }
+}
+
+impl Gender {
+    /// All values, in Table 10 column order.
+    pub const ALL: [Gender; 3] = [Gender::Unknown, Gender::Female, Gender::Male];
+
+    /// Resolves pronoun counts into a gender following §5.6: the group that
+    /// "occurred most frequently" wins; absence or a tie yields `Unknown`.
+    pub fn from_pronoun_counts(masculine: usize, feminine: usize) -> Gender {
+        use std::cmp::Ordering;
+        match masculine.cmp(&feminine) {
+            Ordering::Greater => Gender::Male,
+            Ordering::Less => Gender::Female,
+            Ordering::Equal => Gender::Unknown,
+        }
+    }
+
+    /// Stable lowercase identifier.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Gender::Unknown => "unknown",
+            Gender::Female => "female",
+            Gender::Male => "male",
+        }
+    }
+}
+
+impl fmt::Display for Gender {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Gender::Unknown => "Unknown",
+            Gender::Female => "Female",
+            Gender::Male => "Male",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_pronoun_group_wins() {
+        assert_eq!(Gender::from_pronoun_counts(3, 1), Gender::Male);
+        assert_eq!(Gender::from_pronoun_counts(0, 2), Gender::Female);
+    }
+
+    #[test]
+    fn ties_and_absence_are_unknown() {
+        assert_eq!(Gender::from_pronoun_counts(0, 0), Gender::Unknown);
+        assert_eq!(Gender::from_pronoun_counts(2, 2), Gender::Unknown);
+    }
+}

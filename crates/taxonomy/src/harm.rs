@@ -1,0 +1,243 @@
+//! The harm-risk taxonomy of §7.2 (paper Table 7).
+//!
+//! A doxing target is considered at elevated risk of a harm category based on
+//! the PII the dox contains. "Reputation" risk cannot be inferred from
+//! extracted PII alone — the paper annotates it manually — so the assignment
+//! function takes an explicit flag for it.
+
+use crate::pii_kind::{PiiKind, PiiSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A harm-risk category (Table 7 / Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum HarmRisk {
+    /// Risk of online harassment: the dox exposes OSN profiles or email.
+    Online,
+    /// Risk of physical harm: the dox exposes a physical location.
+    Physical,
+    /// Risk of economic / identity harm: financial identifiers or email.
+    EconomicIdentity,
+    /// Risk of reputational harm: family / employer information (manually
+    /// annotated in the paper).
+    Reputation,
+}
+
+impl HarmRisk {
+    /// All categories, in Figure 2 row order.
+    pub const ALL: [HarmRisk; 4] = [
+        HarmRisk::Physical,
+        HarmRisk::EconomicIdentity,
+        HarmRisk::Online,
+        HarmRisk::Reputation,
+    ];
+
+    /// The PII kinds that trigger this risk (Table 7). Empty for
+    /// `Reputation`, which requires manual annotation.
+    pub fn trigger_kinds(self) -> &'static [PiiKind] {
+        match self {
+            HarmRisk::Online => &[
+                PiiKind::Email,
+                PiiKind::Instagram,
+                PiiKind::Facebook,
+                PiiKind::Twitter,
+                PiiKind::YouTube,
+            ],
+            HarmRisk::Physical => &[PiiKind::Address],
+            HarmRisk::EconomicIdentity => &[PiiKind::Email, PiiKind::CreditCard, PiiKind::Ssn],
+            HarmRisk::Reputation => &[],
+        }
+    }
+
+    /// Stable lowercase identifier.
+    pub fn slug(self) -> &'static str {
+        match self {
+            HarmRisk::Online => "online",
+            HarmRisk::Physical => "physical",
+            HarmRisk::EconomicIdentity => "economic_identity",
+            HarmRisk::Reputation => "reputation",
+        }
+    }
+}
+
+impl fmt::Display for HarmRisk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            HarmRisk::Online => "Online",
+            HarmRisk::Physical => "Physical",
+            HarmRisk::EconomicIdentity => "Economic / Identity",
+            HarmRisk::Reputation => "Reputation",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A set of harm risks assigned to one dox, stored as a 4-bit bitset.
+///
+/// Figure 2's "venn" columns are exactly the 15 non-empty values of this
+/// type (plus the empty set for doxes carrying no risk indicator, which the
+/// paper notes covers over 50 % of Discord samples).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RiskSet(u8);
+
+impl RiskSet {
+    /// The empty risk set.
+    pub const EMPTY: RiskSet = RiskSet(0);
+
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::EMPTY
+    }
+
+    fn bit(risk: HarmRisk) -> u8 {
+        1 << HarmRisk::ALL.iter().position(|r| *r == risk).unwrap()
+    }
+
+    /// Inserts a risk; returns `true` if newly added.
+    pub fn insert(&mut self, risk: HarmRisk) -> bool {
+        let b = Self::bit(risk);
+        let added = self.0 & b == 0;
+        self.0 |= b;
+        added
+    }
+
+    /// Whether the risk is present.
+    pub fn contains(self, risk: HarmRisk) -> bool {
+        self.0 & Self::bit(risk) != 0
+    }
+
+    /// Number of risks present (Figure 2 top row: 1–4).
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether no risk indicator is present.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates risks in Figure 2 row order.
+    pub fn iter(self) -> impl Iterator<Item = HarmRisk> {
+        HarmRisk::ALL.into_iter().filter(move |r| self.contains(*r))
+    }
+
+    /// Raw bits, useful as a combination key (0–15).
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuilds from raw bits (masked to 4 bits).
+    pub fn from_bits(bits: u8) -> RiskSet {
+        RiskSet(bits & 0x0f)
+    }
+
+    /// Derives the risk set implied by a dox's extracted PII (§7.2) plus the
+    /// manually annotated reputation flag (family/employer information).
+    pub fn from_pii(pii: PiiSet, reputation_flag: bool) -> RiskSet {
+        let mut set = RiskSet::new();
+        for risk in [
+            HarmRisk::Online,
+            HarmRisk::Physical,
+            HarmRisk::EconomicIdentity,
+        ] {
+            if risk.trigger_kinds().iter().any(|k| pii.contains(*k)) {
+                set.insert(risk);
+            }
+        }
+        if reputation_flag {
+            set.insert(HarmRisk::Reputation);
+        }
+        set
+    }
+}
+
+impl FromIterator<HarmRisk> for RiskSet {
+    fn from_iter<I: IntoIterator<Item = HarmRisk>>(iter: I) -> Self {
+        let mut set = RiskSet::new();
+        for r in iter {
+            set.insert(r);
+        }
+        set
+    }
+}
+
+impl fmt::Debug for RiskSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table7_trigger_mapping() {
+        assert_eq!(HarmRisk::Physical.trigger_kinds(), &[PiiKind::Address]);
+        assert!(HarmRisk::Online.trigger_kinds().contains(&PiiKind::Email));
+        assert!(HarmRisk::Online
+            .trigger_kinds()
+            .contains(&PiiKind::Facebook));
+        assert!(HarmRisk::EconomicIdentity
+            .trigger_kinds()
+            .contains(&PiiKind::Ssn));
+        assert!(HarmRisk::EconomicIdentity
+            .trigger_kinds()
+            .contains(&PiiKind::CreditCard));
+        // Email triggers BOTH online and economic risk (paper footnote 1).
+        assert!(HarmRisk::EconomicIdentity
+            .trigger_kinds()
+            .contains(&PiiKind::Email));
+        assert!(HarmRisk::Reputation.trigger_kinds().is_empty());
+    }
+
+    #[test]
+    fn from_pii_email_triggers_two_risks() {
+        let pii: PiiSet = [PiiKind::Email].into_iter().collect();
+        let risks = RiskSet::from_pii(pii, false);
+        assert!(risks.contains(HarmRisk::Online));
+        assert!(risks.contains(HarmRisk::EconomicIdentity));
+        assert!(!risks.contains(HarmRisk::Physical));
+        assert_eq!(risks.len(), 2);
+    }
+
+    #[test]
+    fn from_pii_address_is_physical_only() {
+        let pii: PiiSet = [PiiKind::Address].into_iter().collect();
+        let risks = RiskSet::from_pii(pii, false);
+        assert_eq!(risks.iter().collect::<Vec<_>>(), vec![HarmRisk::Physical]);
+    }
+
+    #[test]
+    fn reputation_requires_manual_flag() {
+        let pii: PiiSet = PiiKind::ALL.into_iter().collect();
+        assert!(!RiskSet::from_pii(pii, false).contains(HarmRisk::Reputation));
+        assert!(RiskSet::from_pii(pii, true).contains(HarmRisk::Reputation));
+        assert_eq!(RiskSet::from_pii(pii, true).len(), 4);
+    }
+
+    #[test]
+    fn empty_pii_yields_empty_risks() {
+        assert!(RiskSet::from_pii(PiiSet::EMPTY, false).is_empty());
+    }
+
+    #[test]
+    fn sixteen_combinations() {
+        // Figure 2 has 15 non-empty combination columns.
+        let mut seen = std::collections::HashSet::new();
+        for bits in 0..16u8 {
+            seen.insert(RiskSet::from_bits(bits).bits());
+        }
+        assert_eq!(seen.len(), 16);
+        assert_eq!(RiskSet::from_bits(0xff).bits(), 0x0f);
+    }
+
+    #[test]
+    fn bitset_roundtrip() {
+        let set: RiskSet = [HarmRisk::Online, HarmRisk::Reputation]
+            .into_iter()
+            .collect();
+        assert_eq!(RiskSet::from_bits(set.bits()), set);
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,38 @@
+//! # incite-taxonomy
+//!
+//! Shared vocabulary for the `incite` reproduction of *A Large-Scale
+//! Characterization of Online Incitements to Harassment Across Platforms*
+//! (Aliapoulios et al., IMC '21).
+//!
+//! This crate defines the typed taxonomies every other crate speaks:
+//!
+//! * [`Platform`] / [`DataSet`] — the five platform families the paper crawls
+//!   (boards, chat, Gab, pastes, blogs) and the per-application split of the
+//!   chat data set (Discord vs. Telegram).
+//! * [`AttackType`] / [`Subcategory`] — the call-to-harassment attack-type
+//!   taxonomy of §6.1: 10 parent categories and 28 subcategories (paper
+//!   Tables 5 and 11).
+//! * [`LabelSet`] — a compact bitset over subcategories; a single call to
+//!   harassment can carry several attack types at once (§6.2 measures 13 %
+//!   multi-label incidence).
+//! * [`PiiKind`] — the nine PII families extracted in §5.6 (Table 6).
+//! * [`HarmRisk`] and the PII → harm mapping of §7.2 (Table 7).
+//! * [`Gender`] — the pronoun-inferred target gender of §5.6.
+//! * [`calibration`] — the paper's published distributions (Tables 5, 6, 10,
+//!   11 and headline statistics), used both to calibrate the synthetic corpus
+//!   generator and as the reference column in EXPERIMENTS.md comparisons.
+
+pub mod attack;
+pub mod calibration;
+pub mod gender;
+pub mod harm;
+pub mod labelset;
+pub mod pii_kind;
+pub mod platform;
+
+pub use attack::{AttackType, Subcategory};
+pub use gender::Gender;
+pub use harm::HarmRisk;
+pub use labelset::LabelSet;
+pub use pii_kind::PiiKind;
+pub use platform::{DataSet, Platform};

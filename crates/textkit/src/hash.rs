@@ -1,0 +1,149 @@
+//! Feature hashing ("the hashing trick").
+//!
+//! Maps arbitrary string features into a fixed-dimensional sparse vector
+//! space without a dictionary, which keeps the classifier's memory footprint
+//! constant over a half-billion-document corpus — the same engineering
+//! pressure (§5.2: "models with a small memory footprint that can process
+//! large amounts of data") that pushed the paper to distilBERT.
+//!
+//! Uses FNV-1a for the index hash and a second independent hash bit for the
+//! sign, which debiases collisions (Weinberger et al., 2009).
+
+/// A hasher mapping string features into indices `[0, 2^bits)` with ±1 signs.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct FeatureHasher {
+    bits: u32,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
+    let mut hash = FNV_OFFSET ^ seed;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+impl FeatureHasher {
+    /// Creates a hasher with `2^bits` output dimensions. `bits` is clamped
+    /// to `[1, 30]`.
+    pub fn new(bits: u32) -> Self {
+        FeatureHasher {
+            bits: bits.clamp(1, 30),
+        }
+    }
+
+    /// Output dimensionality.
+    pub fn dimensions(&self) -> usize {
+        1usize << self.bits
+    }
+
+    /// Hashes one feature to `(index, sign)` with `sign ∈ {+1.0, -1.0}`.
+    pub fn slot(&self, feature: &str) -> (u32, f32) {
+        let h = fnv1a(feature.as_bytes(), 0);
+        let index = (h & ((1u64 << self.bits) - 1)) as u32;
+        let sign_bit = fnv1a(feature.as_bytes(), 0x5bd1_e995) & 1;
+        let sign = if sign_bit == 0 { 1.0 } else { -1.0 };
+        (index, sign)
+    }
+
+    /// Hashes a bag of features into a sparse vector: sorted unique indices
+    /// with summed signed counts, L2-normalized if requested.
+    pub fn hash_features<'a, I>(&self, features: I, l2_normalize: bool) -> Vec<(u32, f32)>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut pairs: Vec<(u32, f32)> = features.into_iter().map(|f| self.slot(f)).collect();
+        pairs.sort_unstable_by_key(|(i, _)| *i);
+        let mut out: Vec<(u32, f32)> = Vec::with_capacity(pairs.len());
+        for (i, v) in pairs {
+            match out.last_mut() {
+                Some((li, lv)) if *li == i => *lv += v,
+                _ => out.push((i, v)),
+            }
+        }
+        out.retain(|(_, v)| *v != 0.0);
+        if l2_normalize {
+            let norm: f32 = out.iter().map(|(_, v)| v * v).sum::<f32>().sqrt();
+            if norm > 0.0 {
+                for (_, v) in &mut out {
+                    *v /= norm;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_within_dimensions() {
+        let h = FeatureHasher::new(10);
+        assert_eq!(h.dimensions(), 1024);
+        for f in ["we need to", "raid", "dox", "報告"] {
+            let (idx, sign) = h.slot(f);
+            assert!((idx as usize) < h.dimensions());
+            assert!(sign == 1.0 || sign == -1.0);
+        }
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let h = FeatureHasher::new(16);
+        assert_eq!(h.slot("mass flag"), h.slot("mass flag"));
+    }
+
+    #[test]
+    fn duplicate_features_accumulate() {
+        let h = FeatureHasher::new(16);
+        let v = h.hash_features(["raid", "raid", "raid"], false);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].1.abs(), 3.0);
+    }
+
+    #[test]
+    fn output_is_sorted_and_unique() {
+        let h = FeatureHasher::new(8);
+        let feats: Vec<String> = (0..500).map(|i| format!("f{i}")).collect();
+        let v = h.hash_features(feats.iter().map(|s| s.as_str()), false);
+        for w in v.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn l2_normalization() {
+        let h = FeatureHasher::new(16);
+        let v = h.hash_features(["a", "b", "c", "d"], true);
+        let norm: f32 = v.iter().map(|(_, x)| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_input_is_empty_vector() {
+        let h = FeatureHasher::new(16);
+        assert!(h.hash_features(std::iter::empty(), true).is_empty());
+    }
+
+    #[test]
+    fn signs_split_roughly_evenly() {
+        let h = FeatureHasher::new(20);
+        let pos = (0..2000)
+            .map(|i| format!("feature-{i}"))
+            .filter(|f| h.slot(f).1 > 0.0)
+            .count();
+        assert!((800..1200).contains(&pos), "positive signs: {pos}");
+    }
+
+    #[test]
+    fn bits_clamped() {
+        assert_eq!(FeatureHasher::new(0).dimensions(), 2);
+        assert_eq!(FeatureHasher::new(99).dimensions(), 1 << 30);
+    }
+}

@@ -1,0 +1,176 @@
+//! Punctuation-splitting tokenizer.
+//!
+//! The paper tokenizes documents "using both punctuation splitting and the
+//! WordPiece sub-word segmentation algorithm" (§5.2). This module implements
+//! the first stage: splitting on whitespace and breaking punctuation into
+//! standalone tokens, in the style of BERT's `BasicTokenizer`. The output
+//! feeds [`crate::wordpiece`].
+
+use std::fmt;
+
+/// The coarse class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// Alphabetic word (may include combining marks).
+    Word,
+    /// Digit run.
+    Number,
+    /// Single punctuation or symbol character.
+    Punct,
+}
+
+/// A token with its byte span in the source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The token text (a slice of the input).
+    pub text: &'a str,
+    /// Byte offset of the token start in the input.
+    pub start: usize,
+    /// Byte offset one past the token end.
+    pub end: usize,
+    /// Coarse token class.
+    pub kind: TokenKind,
+}
+
+impl fmt::Display for Token<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.text)
+    }
+}
+
+fn is_punct(ch: char) -> bool {
+    ch.is_ascii_punctuation() || (!ch.is_alphanumeric() && !ch.is_whitespace())
+}
+
+/// Tokenizes text into words, numbers and punctuation.
+///
+/// Rules:
+/// * whitespace separates tokens and is discarded;
+/// * every punctuation/symbol character becomes its own token;
+/// * maximal runs of alphabetic characters become `Word` tokens;
+/// * maximal runs of digits become `Number` tokens;
+/// * a case change does not split (callers normalize first if desired).
+pub fn tokenize(text: &str) -> Vec<Token<'_>> {
+    let mut tokens = Vec::new();
+    let mut chars = text.char_indices().peekable();
+    while let Some(&(start, ch)) = chars.peek() {
+        if ch.is_whitespace() {
+            chars.next();
+            continue;
+        }
+        if is_punct(ch) {
+            let end = start + ch.len_utf8();
+            tokens.push(Token {
+                text: &text[start..end],
+                start,
+                end,
+                kind: TokenKind::Punct,
+            });
+            chars.next();
+            continue;
+        }
+        let numeric = ch.is_ascii_digit();
+        let mut end = start;
+        while let Some(&(i, c)) = chars.peek() {
+            let same_class = if numeric {
+                c.is_ascii_digit()
+            } else {
+                c.is_alphanumeric() && !c.is_ascii_digit()
+            };
+            if !same_class {
+                break;
+            }
+            end = i + c.len_utf8();
+            chars.next();
+        }
+        tokens.push(Token {
+            text: &text[start..end],
+            start,
+            end,
+            kind: if numeric {
+                TokenKind::Number
+            } else {
+                TokenKind::Word
+            },
+        });
+    }
+    tokens
+}
+
+/// Convenience: tokenized text as owned lowercase strings (words and numbers
+/// only), the form consumed by n-gram featurizers.
+pub fn word_tokens(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| t.kind != TokenKind::Punct)
+        .map(|t| t.text.to_lowercase())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts<'a>(tokens: &[Token<'a>]) -> Vec<&'a str> {
+        tokens.iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn splits_punctuation() {
+        let toks = tokenize("let's mass-report his twitter!");
+        assert_eq!(
+            texts(&toks),
+            vec!["let", "'", "s", "mass", "-", "report", "his", "twitter", "!"]
+        );
+    }
+
+    #[test]
+    fn numbers_are_separate_tokens() {
+        let toks = tokenize("call 555 0001 now");
+        assert_eq!(texts(&toks), vec!["call", "555", "0001", "now"]);
+        assert_eq!(toks[1].kind, TokenKind::Number);
+        assert_eq!(toks[0].kind, TokenKind::Word);
+    }
+
+    #[test]
+    fn mixed_alnum_splits_digits_from_letters() {
+        let toks = tokenize("user123name");
+        assert_eq!(texts(&toks), vec!["user", "123", "name"]);
+    }
+
+    #[test]
+    fn spans_index_into_source() {
+        let text = "dox: me@example.com";
+        for tok in tokenize(text) {
+            assert_eq!(&text[tok.start..tok.end], tok.text);
+        }
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n").is_empty());
+    }
+
+    #[test]
+    fn unicode_words_kept_whole() {
+        let toks = tokenize("gehört über");
+        assert_eq!(texts(&toks), vec!["gehört", "über"]);
+    }
+
+    #[test]
+    fn symbols_are_punct() {
+        let toks = tokenize("a@b #tag");
+        assert_eq!(texts(&toks), vec!["a", "@", "b", "#", "tag"]);
+        assert_eq!(toks[1].kind, TokenKind::Punct);
+        assert_eq!(toks[3].kind, TokenKind::Punct);
+    }
+
+    #[test]
+    fn word_tokens_drops_punct_and_lowercases() {
+        assert_eq!(
+            word_tokens("Report HIM, now!"),
+            vec!["report", "him", "now"]
+        );
+    }
+}

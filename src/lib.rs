@@ -1,0 +1,11 @@
+//! Umbrella crate re-exporting the full `incite` public API.
+pub use incite_analysis as analysis;
+pub use incite_annotate as annotate;
+pub use incite_core as core;
+pub use incite_corpus as corpus;
+pub use incite_ml as ml;
+pub use incite_pii as pii;
+pub use incite_regex as regex;
+pub use incite_stats as stats;
+pub use incite_taxonomy as taxonomy;
+pub use incite_textkit as textkit;
