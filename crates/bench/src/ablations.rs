@@ -13,14 +13,12 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::fmt::Write as _;
 
+/// Labeled examples: `(text, label)` pairs.
+type LabeledSplit = Vec<(String, bool)>;
+
 /// A labeled train/dev split drawn from the corpus ground truth, balanced
 /// enough for quality comparisons.
-fn splits(
-    ctx: &ReproContext,
-    task: Task,
-    n: usize,
-    seed: u64,
-) -> (Vec<(String, bool)>, Vec<(String, bool)>) {
+fn splits(ctx: &ReproContext, task: Task, n: usize, seed: u64) -> (LabeledSplit, LabeledSplit) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut pos: Vec<&incite_corpus::Document> = ctx
         .corpus

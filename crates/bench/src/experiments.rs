@@ -579,7 +579,7 @@ fn figure2(ctx: &mut ReproContext) -> String {
             rows.push((label, count));
         }
     }
-    rows.sort_by(|a, b| b.1.cmp(&a.1));
+    rows.sort_by_key(|row| std::cmp::Reverse(row.1));
     s.push_str(&render::bar_chart(&rows, 40));
     let _ = writeln!(s, "\nper-risk totals (paper: Physical 3,518 / Economic 2,443 / Online 3,959 / Reputation 3,601 of 8,425):");
     for risk in HarmRisk::ALL {

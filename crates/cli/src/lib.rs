@@ -27,6 +27,18 @@ impl std::fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("I/O error: {e}"))
+    }
+}
+
+impl From<std::string::FromUtf8Error> for CliError {
+    fn from(e: std::string::FromUtf8Error) -> Self {
+        CliError(format!("output is not UTF-8: {e}"))
+    }
+}
+
 fn err(msg: impl Into<String>) -> CliError {
     CliError(msg.into())
 }
@@ -188,8 +200,14 @@ pub fn run(command: &str, args: &[String], out: &mut dyn Write) -> Result<(), Cl
 
 #[cfg(test)]
 mod tests {
+    // The tests propagate failures as `Result<(), CliError>` with `?` —
+    // the same error discipline as the library — so INC001 passes clean on
+    // this crate with no grandfathered debt.
     use super::*;
     use incite_corpus::{generate, CorpusConfig};
+    use std::path::Path;
+
+    type TestResult = Result<(), CliError>;
 
     fn flags(pairs: &[(&str, &str)]) -> Vec<String> {
         pairs
@@ -198,36 +216,40 @@ mod tests {
             .collect()
     }
 
-    #[test]
-    fn parse_flags_roundtrip_and_errors() {
-        let ok = parse_flags(&flags(&[("model", "m.json"), ("threshold", "0.7")])).unwrap();
-        assert_eq!(ok.get("model").unwrap(), "m.json");
-        assert!(parse_flags(&["--model".to_string()]).is_err());
-        assert!(parse_flags(&["stray".to_string()]).is_err());
+    fn path_str(p: &Path) -> Result<&str, CliError> {
+        p.to_str().ok_or_else(|| err("non-UTF-8 temp path"))
     }
 
     #[test]
-    fn train_then_score_end_to_end() {
+    fn parse_flags_roundtrip_and_errors() -> TestResult {
+        let ok = parse_flags(&flags(&[("model", "m.json"), ("threshold", "0.7")]))?;
+        assert_eq!(ok.get("model").map(String::as_str), Some("m.json"));
+        assert!(parse_flags(&["--model".to_string()]).is_err());
+        assert!(parse_flags(&["stray".to_string()]).is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn train_then_score_end_to_end() -> TestResult {
         let dir = std::env::temp_dir().join(format!("incite-cli-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir)?;
         let corpus_path = dir.join("corpus.jsonl");
         let model_path = dir.join("model.json");
 
         let corpus = generate(&CorpusConfig::tiny(11));
-        let f = std::fs::File::create(&corpus_path).unwrap();
-        jsonl::write_jsonl(f, &corpus.documents).unwrap();
+        let f = std::fs::File::create(&corpus_path)?;
+        jsonl::write_jsonl(f, &corpus.documents)?;
 
         let mut out = Vec::new();
         run(
             "train",
             &flags(&[
-                ("corpus", corpus_path.to_str().unwrap()),
+                ("corpus", path_str(&corpus_path)?),
                 ("task", "cth"),
-                ("out", model_path.to_str().unwrap()),
+                ("out", path_str(&model_path)?),
             ]),
             &mut out,
-        )
-        .unwrap();
+        )?;
         assert!(String::from_utf8_lossy(&out).contains("trained cth model"));
 
         // Score a file of two lines.
@@ -235,95 +257,105 @@ mod tests {
         std::fs::write(
             &input_path,
             "we need to mass report his account right now\nlovely weather for a picnic\n",
-        )
-        .unwrap();
+        )?;
         let mut out = Vec::new();
         run(
             "score",
             &flags(&[
-                ("model", model_path.to_str().unwrap()),
-                ("input", input_path.to_str().unwrap()),
+                ("model", path_str(&model_path)?),
+                ("input", path_str(&input_path)?),
             ]),
             &mut out,
-        )
-        .unwrap();
-        let text = String::from_utf8(out).unwrap();
+        )?;
+        let text = String::from_utf8(out)?;
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
-        let s0: f32 = lines[0].split('\t').next().unwrap().parse().unwrap();
-        let s1: f32 = lines[1].split('\t').next().unwrap().parse().unwrap();
+        let score_of = |line: &str| -> Result<f32, CliError> {
+            line.split('\t')
+                .next()
+                .ok_or_else(|| err("empty score line"))?
+                .parse()
+                .map_err(|e| err(format!("bad score: {e}")))
+        };
+        let s0 = score_of(lines[0])?;
+        let s1 = score_of(lines[1])?;
         assert!(s0 > s1, "CTH should outscore benign: {s0} vs {s1}");
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn pii_and_redact_commands() {
+    fn pii_and_redact_commands() -> TestResult {
         let dir = std::env::temp_dir().join(format!("incite-cli-pii-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir)?;
         let input_path = dir.join("in.txt");
-        std::fs::write(&input_path, "call 212-555-0101 or mail a@example.com\n").unwrap();
+        std::fs::write(&input_path, "call 212-555-0101 or mail a@example.com\n")?;
 
         let mut out = Vec::new();
         run(
             "pii",
-            &flags(&[("input", input_path.to_str().unwrap())]),
+            &flags(&[("input", path_str(&input_path)?)]),
             &mut out,
-        )
-        .unwrap();
-        let text = String::from_utf8(out).unwrap();
+        )?;
+        let text = String::from_utf8(out)?;
         assert!(text.contains("phone\t"));
         assert!(text.contains("email\t"));
 
         let mut out = Vec::new();
         run(
             "redact",
-            &flags(&[("input", input_path.to_str().unwrap())]),
+            &flags(&[("input", path_str(&input_path)?)]),
             &mut out,
-        )
-        .unwrap();
-        let text = String::from_utf8(out).unwrap();
+        )?;
+        let text = String::from_utf8(out)?;
         assert!(text.contains("[PHONE]"));
         assert!(!text.contains("555-0101"));
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn gender_command() {
+    fn gender_command() -> TestResult {
         let dir = std::env::temp_dir().join(format!("incite-cli-g-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir)?;
         let input_path = dir.join("in.txt");
-        std::fs::write(&input_path, "she posted her schedule\nreport the account\n").unwrap();
+        std::fs::write(&input_path, "she posted her schedule\nreport the account\n")?;
         let mut out = Vec::new();
         run(
             "gender",
-            &flags(&[("input", input_path.to_str().unwrap())]),
+            &flags(&[("input", path_str(&input_path)?)]),
             &mut out,
-        )
-        .unwrap();
-        let text = String::from_utf8(out).unwrap();
+        )?;
+        let text = String::from_utf8(out)?;
         assert!(text.starts_with("female\t"));
         assert!(text.contains("unknown\t"));
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn unknown_command_reports_usage() {
+    fn unknown_command_reports_usage() -> TestResult {
         let mut out = Vec::new();
-        let e = run("bogus", &[], &mut out).unwrap_err();
+        let Err(e) = run("bogus", &[], &mut out) else {
+            return Err(err("bogus command unexpectedly succeeded"));
+        };
         assert!(e.0.contains("unknown command"));
         assert!(e.0.contains("incite <command>"));
+        Ok(())
     }
 
     #[test]
-    fn train_rejects_bad_inputs() {
+    fn train_rejects_bad_inputs() -> TestResult {
         let mut out = Vec::new();
         assert!(run("train", &[], &mut out).is_err());
-        let e = run(
+        let Err(e) = run(
             "train",
             &flags(&[("corpus", "/nonexistent.jsonl"), ("out", "/tmp/x.json")]),
             &mut out,
-        )
-        .unwrap_err();
+        ) else {
+            return Err(err("train on missing corpus unexpectedly succeeded"));
+        };
         assert!(e.0.contains("open"));
+        Ok(())
     }
 }

@@ -183,7 +183,9 @@ mod tests {
     use incite_corpus::{generate, CorpusConfig};
     use incite_taxonomy::Platform;
 
-    fn labeled_corpus() -> (Vec<(String, LabelSet)>, Vec<(String, LabelSet)>) {
+    type LabeledDocs = Vec<(String, LabelSet)>;
+
+    fn labeled_corpus() -> (LabeledDocs, LabeledDocs) {
         let corpus = generate(&CorpusConfig::small(0xa77ac4));
         let all: Vec<(String, LabelSet)> = corpus
             .documents

@@ -39,7 +39,7 @@ pub struct CorpusConfig {
 impl Default for CorpusConfig {
     fn default() -> Self {
         CorpusConfig {
-            seed: 0x1c17_e5,
+            seed: 0x001c_17e5,
             scale: 1.0 / 1000.0,
             blog_scale: 0.1,
             positive_scale: 1.0,

@@ -70,8 +70,10 @@ pub fn simulate_crawl<'c>(
     config: &CrawlConfig,
 ) -> (Vec<&'c Document>, Vec<(Platform, CrawlStats)>) {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut stats: Vec<(Platform, CrawlStats)> =
-        Platform::ALL.iter().map(|p| (*p, CrawlStats::default())).collect();
+    let mut stats: Vec<(Platform, CrawlStats)> = Platform::ALL
+        .iter()
+        .map(|p| (*p, CrawlStats::default()))
+        .collect();
     let mut observed = Vec::new();
 
     for doc in &corpus.documents {
@@ -115,7 +117,11 @@ mod tests {
     #[test]
     fn live_feed_documents_are_always_collected() {
         let corpus = corpus();
-        let config = CrawlConfig { paste_backfill: 0.0, board_backfill: 0.0, ..Default::default() };
+        let config = CrawlConfig {
+            paste_backfill: 0.0,
+            board_backfill: 0.0,
+            ..Default::default()
+        };
         let (observed, _) = simulate_crawl(&corpus, &config);
         for d in &observed {
             if d.platform == Platform::Pastes || d.platform == Platform::Boards {
@@ -140,10 +146,16 @@ mod tests {
         let corpus = corpus();
         let (_, stats) = simulate_crawl(&corpus, &CrawlConfig::default());
         let get = |p: Platform| stats.iter().find(|(q, _)| *q == p).unwrap().1.coverage();
-        assert!(get(Platform::Pastes) < get(Platform::Boards), "pastes should trail boards");
+        assert!(
+            get(Platform::Pastes) < get(Platform::Boards),
+            "pastes should trail boards"
+        );
         assert!(get(Platform::Boards) < 1.0);
         assert!((get(Platform::Gab) - 1.0).abs() < 1e-12);
-        assert!(get(Platform::Pastes) > 0.3, "backfill still recovers something");
+        assert!(
+            get(Platform::Pastes) > 0.3,
+            "backfill still recovers something"
+        );
     }
 
     #[test]

@@ -188,10 +188,7 @@ impl Builder {
                 let others: Vec<Platform> = Platform::ALL
                     .iter()
                     .copied()
-                    .filter(|p| {
-                        *p != platform
-                            && self.pools.get(p).is_some_and(|v| !v.is_empty())
-                    })
+                    .filter(|p| *p != platform && self.pools.get(p).is_some_and(|v| !v.is_empty()))
                     .collect();
                 if others.is_empty() {
                     platform
@@ -249,6 +246,10 @@ fn plant_position(len: u32, first_frac: f64, last_frac: f64, rng: &mut StdRng) -
 
 /// Generates the full corpus.
 pub fn generate(config: &CorpusConfig) -> Corpus {
+    // Spec mirrors of the INC005 lint: Table 1 fixes six crawl platforms
+    // folded into five data-set families.
+    debug_assert_eq!(Platform::ALL.len(), 6);
+    debug_assert_eq!(DataSet::ALL.len(), 5);
     let mut b = Builder::new();
     let mut rng = StdRng::seed_from_u64(config.seed);
 

@@ -1,0 +1,358 @@
+//! The ratcheted baseline: a debt ledger of grandfathered violations.
+//!
+//! `lint.baseline.json` maps `rule → { file → count }`. The ratchet
+//! semantics are:
+//!
+//! - a `(rule, file)` with **more** findings than its grandfathered count
+//!   is a failure — new debt is never accepted;
+//! - **fewer** findings than grandfathered is progress: the run passes but
+//!   reports the stale entries so the baseline can be regenerated (counts
+//!   in the committed file may only decrease over time);
+//! - `--update-baseline` rewrites the file from the current findings.
+//!
+//! The lint crate is std-only by contract, so this module carries its own
+//! ~60-line parser for exactly the JSON subset the baseline uses
+//! (two-level object of integers), with deterministic sorted output.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// `rule → file → grandfathered count`. `BTreeMap` keeps serialization
+/// deterministic.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    pub counts: BTreeMap<String, BTreeMap<String, usize>>,
+}
+
+/// Outcome of comparing current findings against the baseline.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// Findings in excess of the grandfathered counts, per `(rule, file)`.
+    /// These fail the run. All findings for an over-budget `(rule, file)`
+    /// are listed so the offending sites are visible.
+    pub new_findings: Vec<Finding>,
+    /// `(rule, file, current, grandfathered)` where current < grandfathered:
+    /// debt was paid down and the committed baseline is stale.
+    pub improved: Vec<(String, String, usize, usize)>,
+}
+
+impl Baseline {
+    /// Builds a baseline from current findings (what `--update-baseline`
+    /// writes).
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut counts: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        for f in findings {
+            *counts
+                .entry(f.rule.to_string())
+                .or_default()
+                .entry(f.file.clone())
+                .or_default() += 1;
+        }
+        Baseline { counts }
+    }
+
+    fn allowed(&self, rule: &str, file: &str) -> usize {
+        self.counts
+            .get(rule)
+            .and_then(|m| m.get(file))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Ratchet check: current findings vs. grandfathered counts.
+    pub fn compare(&self, findings: &[Finding]) -> Comparison {
+        let current = Baseline::from_findings(findings);
+        let mut cmp = Comparison::default();
+        for (rule, files) in &current.counts {
+            for (file, &n) in files {
+                let allowed = self.allowed(rule, file);
+                if n > allowed {
+                    cmp.new_findings.extend(
+                        findings
+                            .iter()
+                            .filter(|f| f.rule == rule && f.file == *file)
+                            .cloned(),
+                    );
+                }
+            }
+        }
+        for (rule, files) in &self.counts {
+            for (file, &grandfathered) in files {
+                let now = current.allowed(rule, file);
+                if now < grandfathered {
+                    cmp.improved
+                        .push((rule.clone(), file.clone(), now, grandfathered));
+                }
+            }
+        }
+        cmp
+    }
+
+    /// Deterministic pretty JSON (sorted keys, 2-space indent, trailing
+    /// newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let mut first_rule = true;
+        for (rule, files) in &self.counts {
+            if !first_rule {
+                out.push_str(",\n");
+            }
+            first_rule = false;
+            out.push_str(&format!("  {}: {{\n", quote(rule)));
+            let mut first_file = true;
+            for (file, n) in files {
+                if !first_file {
+                    out.push_str(",\n");
+                }
+                first_file = false;
+                out.push_str(&format!("    {}: {}", quote(file), n));
+            }
+            out.push_str("\n  }");
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Parses the baseline JSON subset. Errors carry a byte offset.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let mut counts = BTreeMap::new();
+        p.expect(b'{')?;
+        p.skip_ws();
+        if !p.eat(b'}') {
+            loop {
+                let rule = p.string()?;
+                p.skip_ws();
+                p.expect(b':')?;
+                p.skip_ws();
+                let mut files = BTreeMap::new();
+                p.expect(b'{')?;
+                p.skip_ws();
+                if !p.eat(b'}') {
+                    loop {
+                        let file = p.string()?;
+                        p.skip_ws();
+                        p.expect(b':')?;
+                        p.skip_ws();
+                        let n = p.integer()?;
+                        files.insert(file, n);
+                        p.skip_ws();
+                        if p.eat(b'}') {
+                            break;
+                        }
+                        p.expect(b',')?;
+                        p.skip_ws();
+                    }
+                }
+                counts.insert(rule, files);
+                p.skip_ws();
+                if p.eat(b'}') {
+                    break;
+                }
+                p.expect(b',')?;
+                p.skip_ws();
+            }
+        }
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing characters at byte {}", p.pos));
+        }
+        Ok(Baseline { counts })
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(format!("unterminated string at byte {}", self.pos)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        other => {
+                            return Err(format!(
+                                "unsupported escape {:?} at byte {}",
+                                other.map(|&b| b as char),
+                                self.pos
+                            ))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    // Baseline keys are repo-relative paths and rule IDs:
+                    // plain UTF-8, consumed bytewise.
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn integer(&mut self) -> Result<usize, String> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected integer at byte {}", start));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("invalid integer at byte {}", start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Severity;
+
+    fn finding(rule: &'static str, file: &str, line: usize) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Error,
+            file: file.to_string(),
+            line,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        let findings = vec![
+            finding("INC001", "crates/core/src/a.rs", 1),
+            finding("INC001", "crates/core/src/a.rs", 9),
+            finding("INC003", "crates/stats/src/b.rs", 4),
+        ];
+        let b = Baseline::from_findings(&findings);
+        let parsed = Baseline::parse(&b.to_json()).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.counts["INC001"]["crates/core/src/a.rs"], 2);
+    }
+
+    #[test]
+    fn empty_baseline_parses() {
+        assert!(Baseline::parse("{}\n").unwrap().counts.is_empty());
+        assert_eq!(Baseline::default().to_json(), "{\n\n}\n");
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_offset() {
+        let err = Baseline::parse("{\"INC001\": {\"f\": }}").unwrap_err();
+        assert!(err.contains("byte"), "{err}");
+        assert!(Baseline::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn ratchet_passes_at_or_below_grandfathered_counts() {
+        let grandfathered =
+            Baseline::from_findings(&[finding("INC001", "a.rs", 1), finding("INC001", "a.rs", 2)]);
+        // Same count: clean.
+        let cmp =
+            grandfathered.compare(&[finding("INC001", "a.rs", 5), finding("INC001", "a.rs", 6)]);
+        assert!(cmp.new_findings.is_empty());
+        assert!(cmp.improved.is_empty());
+        // Fewer: clean but reported as improvement.
+        let cmp = grandfathered.compare(&[finding("INC001", "a.rs", 5)]);
+        assert!(cmp.new_findings.is_empty());
+        assert_eq!(cmp.improved, vec![("INC001".into(), "a.rs".into(), 1, 2)]);
+    }
+
+    #[test]
+    fn ratchet_fails_on_any_increase() {
+        let grandfathered = Baseline::from_findings(&[finding("INC001", "a.rs", 1)]);
+        let cmp =
+            grandfathered.compare(&[finding("INC001", "a.rs", 1), finding("INC001", "a.rs", 8)]);
+        // Both sites are reported, not just the delta.
+        assert_eq!(cmp.new_findings.len(), 2);
+    }
+
+    #[test]
+    fn ratchet_fails_on_new_rule_or_file() {
+        let grandfathered = Baseline::from_findings(&[finding("INC001", "a.rs", 1)]);
+        assert_eq!(
+            grandfathered
+                .compare(&[finding("INC001", "b.rs", 1)])
+                .new_findings
+                .len(),
+            1
+        );
+        assert_eq!(
+            grandfathered
+                .compare(&[finding("INC002", "a.rs", 1)])
+                .new_findings
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn fully_paid_file_reports_improvement() {
+        let grandfathered = Baseline::from_findings(&[finding("INC001", "a.rs", 1)]);
+        let cmp = grandfathered.compare(&[]);
+        assert!(cmp.new_findings.is_empty());
+        assert_eq!(cmp.improved, vec![("INC001".into(), "a.rs".into(), 0, 1)]);
+    }
+}

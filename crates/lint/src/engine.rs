@@ -1,0 +1,189 @@
+//! Workspace walking and orchestration: collects sources, runs the rule
+//! catalog plus the INC005 spec checks, and compares against a baseline.
+
+use crate::baseline::{Baseline, Comparison};
+use crate::lexer::MaskedFile;
+use crate::rules::{self, Finding};
+use crate::spec;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A full lint run over one workspace root.
+pub struct Report {
+    /// Every current finding, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Ratchet outcome against the provided baseline.
+    pub comparison: Comparison,
+    /// Number of files scanned (for the summary line).
+    pub files_scanned: usize,
+}
+
+/// Collects the repo-relative paths of all `.rs` files under `crates/*/src`,
+/// sorted for determinism.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<String>> {
+    let crates_dir = root.join("crates");
+    let mut out = Vec::new();
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            walk(&src, &mut out)?;
+        }
+    }
+    let mut rel: Vec<String> = out
+        .into_iter()
+        .filter_map(|p| {
+            p.strip_prefix(root)
+                .ok()
+                .map(|r| r.to_string_lossy().replace('\\', "/"))
+        })
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the whole catalog against `root` and ratchets against `baseline`.
+pub fn run(root: &Path, baseline: &Baseline) -> io::Result<Report> {
+    let sources = collect_sources(root)?;
+    let mut masked: BTreeMap<String, MaskedFile> = BTreeMap::new();
+    for rel in &sources {
+        let text = fs::read_to_string(root.join(rel))?;
+        masked.insert(rel.clone(), MaskedFile::new(&text));
+    }
+
+    let mut findings = Vec::new();
+    for (rel, file) in &masked {
+        findings.extend(rules::scan_file(rel, file));
+    }
+    let lookup = |path: &str| masked.get(path);
+    findings.extend(spec::check(&spec::SpecSource { files: &lookup }));
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+
+    let comparison = baseline.compare(&findings);
+    Ok(Report {
+        findings,
+        comparison,
+        files_scanned: sources.len(),
+    })
+}
+
+/// Renders the machine-readable JSON report (deterministic field order).
+pub fn report_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"findings\": [\n");
+    let grandfathered_ok = |f: &Finding| !report.comparison.new_findings.contains(f);
+    for (i, f) in report.findings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \
+             \"line\": {}, \"message\": \"{}\", \"grandfathered\": {}}}{}\n",
+            f.rule,
+            f.severity.as_str(),
+            escape(&f.file),
+            f.line,
+            escape(&f.message),
+            grandfathered_ok(f),
+            if i + 1 == report.findings.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"files_scanned\": {},\n  \"total\": {},\n  \"new\": {},\n  \"stale_baseline_entries\": {}\n}}\n",
+        report.files_scanned,
+        report.findings.len(),
+        report.comparison.new_findings.len(),
+        report.comparison.improved.len(),
+    ));
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The repo root, from the lint crate's own manifest dir.
+    fn repo_root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("crates/lint has a workspace root two levels up")
+            .to_path_buf()
+    }
+
+    #[test]
+    fn collects_lint_crate_sources() {
+        let sources = collect_sources(&repo_root()).unwrap();
+        assert!(sources.contains(&"crates/lint/src/engine.rs".to_string()));
+        assert!(sources.iter().all(|s| s.ends_with(".rs")));
+        let mut sorted = sources.clone();
+        sorted.sort();
+        assert_eq!(sources, sorted, "source order must be deterministic");
+    }
+
+    /// Self-test: the repository must be clean against its checked-in
+    /// baseline. This is the same check CI's static-analysis job runs.
+    #[test]
+    fn repo_is_clean_against_committed_baseline() {
+        let root = repo_root();
+        let text = fs::read_to_string(root.join("lint.baseline.json"))
+            .expect("lint.baseline.json is committed at the workspace root");
+        let baseline = Baseline::parse(&text).expect("baseline parses");
+        let report = run(&root, &baseline).unwrap();
+        let rendered: Vec<String> = report
+            .comparison
+            .new_findings
+            .iter()
+            .map(Finding::render)
+            .collect();
+        assert!(
+            rendered.is_empty(),
+            "new lint violations:\n{}",
+            rendered.join("\n")
+        );
+    }
+
+    #[test]
+    fn report_json_is_valid_shape() {
+        let root = repo_root();
+        let report = run(&root, &Baseline::default()).unwrap();
+        let json = report_json(&report);
+        assert!(json.starts_with("{\n"));
+        assert!(json.contains("\"files_scanned\""));
+        assert!(json.trim_end().ends_with('}'));
+    }
+}

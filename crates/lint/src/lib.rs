@@ -1,0 +1,27 @@
+//! incite-lint: a dependency-free static-analysis pass over the workspace.
+//!
+//! The paper's numbers are only credible if every pipeline stage is
+//! deterministic and total. This crate mechanically enforces that:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | INC001 | no `unwrap()`/`expect()`/`panic!`/`todo!` in library code of core, ml, pii, regexlite, stats, cli |
+//! | INC002 | no `thread_rng`/`SystemTime::now`/`Instant::now` in library crates (bench binaries exempt) |
+//! | INC003 | no float `==`/`!=` in stats/ml |
+//! | INC004 | no unchecked slice indexing in the regexlite VM hot loop |
+//! | INC005 | taxonomy/pii/corpus spec constants agree with the paper |
+//!
+//! Findings are ratcheted against `lint.baseline.json` (see [`baseline`]):
+//! grandfathered debt passes, new debt fails, and paid-down debt is
+//! reported so the baseline can shrink. Suppress a single site with
+//! `// incite-lint: allow(INC00x)` on (or directly above) the line.
+//!
+//! The crate has an **empty `[dependencies]`** by design: it must build
+//! and run first, in environments with no registry access, so it can gate
+//! everything else.
+
+pub mod baseline;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod spec;

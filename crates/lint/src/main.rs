@@ -1,0 +1,160 @@
+//! CLI: `cargo run -p incite-lint -- check [--baseline PATH] [--json]
+//! [--update-baseline] [--root PATH]`.
+//!
+//! Exit codes: 0 clean (or baseline updated), 1 new violations, 2 usage or
+//! I/O error.
+
+use incite_lint::baseline::Baseline;
+use incite_lint::engine;
+use incite_lint::rules::CATALOG;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+incite-lint: workspace static analysis
+
+USAGE:
+    incite-lint check [OPTIONS]
+    incite-lint rules
+
+OPTIONS:
+    --baseline <PATH>    Baseline file (default: <root>/lint.baseline.json)
+    --update-baseline    Rewrite the baseline from current findings and exit 0
+    --json               Emit the machine-readable report on stdout
+    --root <PATH>        Workspace root (default: current directory)
+";
+
+struct Args {
+    baseline: Option<PathBuf>,
+    update_baseline: bool,
+    json: bool,
+    root: PathBuf,
+}
+
+fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
+    let _bin = argv.next();
+    let command = argv.next().ok_or_else(|| USAGE.to_string())?;
+    let mut args = Args {
+        baseline: None,
+        update_baseline: false,
+        json: false,
+        root: PathBuf::from("."),
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--baseline" => {
+                let v = argv.next().ok_or("--baseline requires a path")?;
+                args.baseline = Some(PathBuf::from(v));
+            }
+            "--update-baseline" => args.update_baseline = true,
+            "--json" => args.json = true,
+            "--root" => {
+                let v = argv.next().ok_or("--root requires a path")?;
+                args.root = PathBuf::from(v);
+            }
+            other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok((command, args))
+}
+
+fn main() -> ExitCode {
+    let (command, args) = match parse_args(std::env::args()) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match command.as_str() {
+        "check" => check(args),
+        "rules" => {
+            for rule in CATALOG {
+                println!("{}: {}", rule.id, rule.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(args: Args) -> ExitCode {
+    let baseline_path = args
+        .baseline
+        .unwrap_or_else(|| args.root.join("lint.baseline.json"));
+
+    let baseline = if args.update_baseline {
+        // Regeneration ignores the existing file entirely.
+        Baseline::default()
+    } else {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => match Baseline::parse(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("error: {}: {e}", baseline_path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            // Missing baseline = empty baseline: every finding is new.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+            Err(e) => {
+                eprintln!("error: {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let report = match engine::run(&args.root, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: scanning {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.update_baseline {
+        let regenerated = Baseline::from_findings(&report.findings);
+        if let Err(e) = std::fs::write(&baseline_path, regenerated.to_json()) {
+            eprintln!("error: writing {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "wrote {} ({} grandfathered findings across {} files)",
+            baseline_path.display(),
+            report.findings.len(),
+            report.files_scanned
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if args.json {
+        print!("{}", engine::report_json(&report));
+    } else {
+        for f in &report.comparison.new_findings {
+            eprintln!("{}\n", f.render());
+        }
+        for (rule, file, now, was) in &report.comparison.improved {
+            eprintln!(
+                "note[{rule}]: {file} improved to {now} finding(s) from {was} \
+                 grandfathered — run `cargo run -p incite-lint -- check \
+                 --update-baseline` to ratchet the baseline down"
+            );
+        }
+        eprintln!(
+            "incite-lint: {} file(s), {} finding(s) ({} grandfathered, {} new)",
+            report.files_scanned,
+            report.findings.len(),
+            report.findings.len() - report.comparison.new_findings.len(),
+            report.comparison.new_findings.len()
+        );
+    }
+
+    if report.comparison.new_findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

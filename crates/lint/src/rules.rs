@@ -1,0 +1,423 @@
+//! The pattern-based rule catalog (INC001–INC004) and the finding type.
+//!
+//! Each rule scans the *masked* text of a file (see [`crate::lexer`]), so
+//! occurrences inside comments and string literals never match. Rules are
+//! scoped by repo-relative path; the scoping encodes which invariant each
+//! rule protects (see DESIGN.md, "Static analysis").
+
+use crate::lexer::MaskedFile;
+
+/// Diagnostic severity. Every shipped rule is `Error` today; the field
+/// exists so a future rule can be introduced as `Warn` before ratcheting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Warn,
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warn => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule ID, e.g. `INC001`.
+    pub rule: &'static str,
+    pub severity: Severity,
+    /// Repo-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line number (0 for file-level findings).
+    pub line: usize,
+    pub message: String,
+}
+
+impl Finding {
+    /// Rustc-style rendering: `error[INC001]: message\n  --> file:line`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}[{}]: {}\n  --> {}:{}",
+            self.severity.as_str(),
+            self.rule,
+            self.message,
+            self.file,
+            self.line
+        )
+    }
+}
+
+/// Static description of a rule, used by `--list-rules` and the docs test.
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub summary: &'static str,
+}
+
+/// The shipped catalog.
+pub const CATALOG: &[RuleInfo] = &[
+    RuleInfo {
+        id: "INC001",
+        summary: "no unwrap()/expect()/panic!/todo! in library code of \
+                  core, ml, pii, regexlite, stats, cli (tests and benches exempt)",
+    },
+    RuleInfo {
+        id: "INC002",
+        summary: "no nondeterminism (thread_rng, SystemTime::now, Instant::now) \
+                  in library crates; bench binaries exempt",
+    },
+    RuleInfo {
+        id: "INC003",
+        summary: "no float == / != comparisons in stats and ml library code",
+    },
+    RuleInfo {
+        id: "INC004",
+        summary: "no unchecked slice indexing in the regexlite VM hot loop",
+    },
+    RuleInfo {
+        id: "INC005",
+        summary: "taxonomy/pii/corpus spec constants must agree with the paper \
+                  (10 attack parents, 28+1 subcategories, 9 PII families / 12 \
+                  expressions, 6 platforms / 5 data sets)",
+    },
+];
+
+/// Crates whose library code must be panic-free (INC001).
+const PANIC_FREE_CRATES: &[&str] = &["core", "ml", "pii", "regexlite", "stats", "cli"];
+
+/// Crates whose library code INC003 (float equality) applies to.
+const FLOAT_EQ_CRATES: &[&str] = &["stats", "ml"];
+
+fn crate_of(path: &str) -> Option<&str> {
+    let rest = path.strip_prefix("crates/")?;
+    let (name, tail) = rest.split_once('/')?;
+    // Only library sources: crates/<name>/src/**. `tests/` and `benches/`
+    // directories fall outside `src/` and are exempt by construction.
+    tail.starts_with("src/").then_some(name)
+}
+
+fn in_scope_inc001(path: &str) -> bool {
+    crate_of(path).is_some_and(|c| PANIC_FREE_CRATES.contains(&c))
+}
+
+fn in_scope_inc002(path: &str) -> bool {
+    // All library crates except the bench harness (its binaries measure
+    // wall-clock by design).
+    crate_of(path).is_some_and(|c| c != "bench")
+}
+
+fn in_scope_inc003(path: &str) -> bool {
+    crate_of(path).is_some_and(|c| FLOAT_EQ_CRATES.contains(&c))
+}
+
+fn in_scope_inc004(path: &str) -> bool {
+    path == "crates/regexlite/src/vm.rs"
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Whether `hay[at..]` starts with `needle` at a word boundary on the left.
+fn word_start_at(hay: &[u8], at: usize) -> bool {
+    at == 0 || !is_ident_byte(hay[at - 1])
+}
+
+/// All byte offsets where `needle` occurs in `line`.
+fn occurrences<'a>(line: &'a str, needle: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let mut from = 0;
+    std::iter::from_fn(move || {
+        let rel = line[from..].find(needle)?;
+        let at = from + rel;
+        from = at + 1;
+        Some(at)
+    })
+}
+
+/// Runs INC001–INC004 over one masked file. `path` is repo-relative.
+pub fn scan_file(path: &str, masked: &MaskedFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let inc001 = in_scope_inc001(path);
+    let inc002 = in_scope_inc002(path);
+    let inc003 = in_scope_inc003(path);
+    let inc004 = in_scope_inc004(path);
+    if !(inc001 || inc002 || inc003 || inc004) {
+        return findings;
+    }
+
+    for (idx, line) in masked.masked.lines().enumerate() {
+        let lineno = idx + 1;
+        let in_tests = masked.in_test_region(lineno);
+        let mut push = |rule: &'static str, message: String| {
+            if !masked.is_suppressed(rule, lineno) {
+                findings.push(Finding {
+                    rule,
+                    severity: Severity::Error,
+                    file: path.to_string(),
+                    line: lineno,
+                    message,
+                });
+            }
+        };
+
+        if inc001 && !in_tests {
+            // `.expect(` cannot match `.expect_err(`: the needle includes
+            // the open paren.
+            for (needle, label) in [(".unwrap()", "unwrap()"), (".expect(", "expect()")] {
+                for _ in occurrences(line, needle) {
+                    push("INC001", format!("`{label}` in library code"));
+                }
+            }
+            for needle in ["panic!", "todo!"] {
+                for at in occurrences(line, needle) {
+                    if word_start_at(line.as_bytes(), at) {
+                        push("INC001", format!("`{needle}` in library code"));
+                    }
+                }
+            }
+        }
+
+        if inc002 {
+            for needle in ["thread_rng", "SystemTime::now", "Instant::now"] {
+                for at in occurrences(line, needle) {
+                    if word_start_at(line.as_bytes(), at) {
+                        push(
+                            "INC002",
+                            format!("nondeterministic `{needle}` in library crate"),
+                        );
+                    }
+                }
+            }
+        }
+
+        if inc003 && !in_tests {
+            for op in ["==", "!="] {
+                for at in occurrences(line, op) {
+                    // Skip `!==`/`===` fragments and pattern arms `=>`.
+                    if at + op.len() < line.len() && line.as_bytes()[at + op.len()] == b'=' {
+                        continue;
+                    }
+                    if at > 0
+                        && (line.as_bytes()[at - 1] == b'=' || line.as_bytes()[at - 1] == b'!')
+                    {
+                        continue;
+                    }
+                    let left = last_token(&line[..at]);
+                    let right = first_token(&line[at + op.len()..]);
+                    if is_float_token(left) || is_float_token(right) || casts_to_float(&line[..at])
+                    {
+                        push(
+                            "INC003",
+                            format!("float `{op}` comparison (use an epsilon or total ordering)"),
+                        );
+                    }
+                }
+            }
+        }
+
+        if inc004 && !in_tests {
+            for (at, _) in line.match_indices('[') {
+                if at == 0 {
+                    continue;
+                }
+                let prev = line.as_bytes()[at - 1];
+                // `ident[`, `)[`, `][` index a place expression. Attributes
+                // (`#[`), macros (`vec![`), types (`: [u8; 4]`), and slice
+                // borrows (`&[`) do not.
+                if is_ident_byte(prev) || prev == b')' || prev == b']' {
+                    push(
+                        "INC004",
+                        "unchecked slice index in VM hot loop (use get()/get_mut() \
+                         or a checked helper)"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Last whitespace-delimited token of `s`, trimmed of trailing operators.
+fn last_token(s: &str) -> &str {
+    let s = s.trim_end();
+    let start = s
+        .rfind(|c: char| !(c.is_alphanumeric() || c == '_' || c == '.'))
+        .map(|i| i + c_len(s, i))
+        .unwrap_or(0);
+    &s[start..]
+}
+
+/// First whitespace-delimited token of `s`.
+fn first_token(s: &str) -> &str {
+    let s = s.trim_start();
+    let end = s
+        .find(|c: char| !(c.is_alphanumeric() || c == '_' || c == '.'))
+        .unwrap_or(s.len());
+    &s[..end]
+}
+
+fn c_len(s: &str, i: usize) -> usize {
+    s[i..].chars().next().map_or(1, |c| c.len_utf8())
+}
+
+/// Whether a token is a float literal: `1.0`, `0.5e-3`, `2f64`, `1_000.0f32`.
+fn is_float_token(tok: &str) -> bool {
+    let tok = tok
+        .strip_suffix("f64")
+        .or_else(|| tok.strip_suffix("f32"))
+        .map(|t| (t, true))
+        .unwrap_or((tok, false));
+    let (body, had_suffix) = tok;
+    let body = body.trim_end_matches('.');
+    if body.is_empty() || !body.as_bytes()[0].is_ascii_digit() {
+        return false;
+    }
+    let mut saw_dot = false;
+    for b in body.bytes() {
+        match b {
+            b'0'..=b'9' | b'_' => {}
+            b'.' => saw_dot = true,
+            b'e' | b'E' | b'+' | b'-' => {}
+            _ => return false,
+        }
+    }
+    saw_dot || had_suffix
+}
+
+/// Whether the text left of the operator ends in an `as f64` / `as f32`
+/// cast, possibly parenthesised as `(x as f64)`.
+fn casts_to_float(left: &str) -> bool {
+    let left = left.trim_end().trim_end_matches(')').trim_end();
+    left.ends_with("as f64") || left.ends_with("as f32")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::MaskedFile;
+
+    fn scan(path: &str, src: &str) -> Vec<Finding> {
+        scan_file(path, &MaskedFile::new(src))
+    }
+
+    #[test]
+    fn inc001_flags_unwrap_in_core_src() {
+        let f = scan("crates/core/src/pipeline.rs", "let x = y.unwrap();\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "INC001");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn inc001_ignores_unwrap_or_and_expect_err() {
+        let src = "let a = y.unwrap_or(0);\nlet b = y.unwrap_or_default();\nlet c = r.expect_err(\"no\");\n";
+        assert!(scan("crates/core/src/pipeline.rs", src).is_empty());
+    }
+
+    #[test]
+    fn inc001_exempts_test_mods_and_out_of_scope_crates() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(scan("crates/core/src/pipeline.rs", src).is_empty());
+        // taxonomy is not in the INC001 panic-free set.
+        assert!(scan("crates/taxonomy/src/attack.rs", "x.unwrap();\n").is_empty());
+        // tests/ and benches/ directories are out of scope entirely.
+        assert!(scan("crates/core/tests/it.rs", "x.unwrap();\n").is_empty());
+    }
+
+    #[test]
+    fn inc001_word_boundary_on_macros() {
+        assert!(scan("crates/ml/src/lib.rs", "no_panic!();\n").is_empty());
+        assert_eq!(scan("crates/ml/src/lib.rs", "panic!(\"x\");\n").len(), 1);
+        assert_eq!(scan("crates/ml/src/lib.rs", "todo!()\n").len(), 1);
+    }
+
+    #[test]
+    fn inc002_flags_wall_clock_everywhere_in_library() {
+        let f = scan(
+            "crates/textkit/src/lib.rs",
+            "let t = std::time::Instant::now();\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "INC002");
+        // Even inside #[cfg(test)]: deterministic tests are part of the spec.
+        let f = scan(
+            "crates/regexlite/src/lib.rs",
+            "#[cfg(test)]\nmod tests {\n  fn t() { let t = Instant::now(); }\n}\n",
+        );
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn inc002_exempts_bench_crate() {
+        assert!(scan("crates/bench/src/bin/repro.rs", "Instant::now();\n").is_empty());
+    }
+
+    #[test]
+    fn inc003_flags_float_literal_comparison() {
+        let f = scan("crates/stats/src/ecdf.rs", "if x == 0.5 { }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "INC003");
+        assert_eq!(scan("crates/ml/src/lib.rs", "if 1.0 != y { }\n").len(), 1);
+        assert_eq!(
+            scan("crates/ml/src/lib.rs", "if (n as f64) == m { }\n").len(),
+            1
+        );
+        assert_eq!(scan("crates/ml/src/lib.rs", "if y == 2f64 { }\n").len(), 1);
+    }
+
+    #[test]
+    fn inc003_ignores_int_comparisons_and_other_crates() {
+        assert!(scan("crates/stats/src/ecdf.rs", "if x == 5 { }\n").is_empty());
+        assert!(scan("crates/stats/src/ecdf.rs", "if a != b { }\n").is_empty());
+        assert!(scan("crates/stats/src/ecdf.rs", "if t.0 == u.0 { }\n").is_empty());
+        assert!(scan("crates/core/src/lib.rs", "if x == 0.5 { }\n").is_empty());
+        // `=>` match arms and `<=`/`>=`/`!==` fragments don't trip it.
+        assert!(scan("crates/stats/src/ecdf.rs", "Some(x) => 0.5,\n").is_empty());
+        assert!(scan("crates/stats/src/ecdf.rs", "if x <= 0.5 { }\n").is_empty());
+    }
+
+    #[test]
+    fn inc004_flags_indexing_only_in_vm() {
+        let f = scan("crates/regexlite/src/vm.rs", "let i = insts[pc];\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "INC004");
+        assert!(scan("crates/regexlite/src/compile.rs", "insts[pc];\n").is_empty());
+    }
+
+    #[test]
+    fn inc004_ignores_attributes_macros_types_and_borrows() {
+        let src = "#[derive(Debug)]\nlet v = vec![1];\nlet t: [u8; 4] = x;\nlet s: &[u8] = y;\n";
+        assert!(scan("crates/regexlite/src/vm.rs", src).is_empty());
+    }
+
+    #[test]
+    fn suppression_silences_a_finding() {
+        let src = "let x = y.unwrap(); // incite-lint: allow(INC001)\n";
+        assert!(scan("crates/core/src/pipeline.rs", src).is_empty());
+    }
+
+    #[test]
+    fn string_contents_never_match() {
+        let src = "let s = \"call .unwrap() and panic! now\";\n";
+        assert!(scan("crates/core/src/pipeline.rs", src).is_empty());
+    }
+
+    #[test]
+    fn render_is_rustc_style() {
+        let f = Finding {
+            rule: "INC001",
+            severity: Severity::Error,
+            file: "crates/core/src/pipeline.rs".into(),
+            line: 7,
+            message: "`unwrap()` in library code".into(),
+        };
+        assert_eq!(
+            f.render(),
+            "error[INC001]: `unwrap()` in library code\n  --> crates/core/src/pipeline.rs:7"
+        );
+    }
+}

@@ -1,0 +1,438 @@
+//! INC005: spec-consistency lints.
+//!
+//! The paper pins the taxonomy sizes — 10 parent attack types (Table 5),
+//! 28 subcategories plus the parent-only generic label (Table 11), 9 PII
+//! families matched by 12 regular expressions (§5.6, Table 6), and 6 crawl
+//! platforms folded into 5 data sets (Table 1). These counts are encoded
+//! independently in `taxonomy`, `pii`, and `corpus`; INC005 parses the
+//! actual declarations out of the masked source and fails if any copy
+//! drifts. The same invariants live as `debug_assert!`s at the
+//! construction sites so they also trip in debug test runs.
+
+use crate::lexer::MaskedFile;
+use crate::rules::{Finding, Severity};
+
+/// Expected spec constants, in one place.
+pub mod expected {
+    /// Parent attack types (paper Table 5).
+    pub const ATTACK_PARENTS: usize = 10;
+    /// Subcategories (Table 11): 28 plus the parent-only generic label.
+    pub const SUBCATEGORIES: usize = 29;
+    /// PII families (Table 6).
+    pub const PII_FAMILIES: usize = 9;
+    /// PII regular expressions (§5.6): one field per single-pattern family
+    /// plus URL/inline forms per social network.
+    pub const PII_EXPRESSIONS: usize = 12;
+    /// Card networks sharing the credit-card family.
+    pub const CARD_NETWORKS: usize = 4;
+    /// Concrete crawl platforms (Table 1, chat split in two).
+    pub const PLATFORMS: usize = 6;
+    /// Data-set families (Table 1 rows).
+    pub const DATA_SETS: usize = 5;
+}
+
+/// A parsed enum declaration.
+pub struct EnumDecl {
+    /// 1-based line of the `enum` keyword.
+    pub line: usize,
+    pub variants: Vec<String>,
+}
+
+/// Finds `enum <name> { ... }` in masked source and returns its variants.
+pub fn parse_enum(masked: &str, name: &str) -> Option<EnumDecl> {
+    let (line, body) = find_braced_item(masked, "enum", name)?;
+    let variants = split_top_level(body).filter_map(first_ident).collect();
+    Some(EnumDecl { line, variants })
+}
+
+/// A parsed struct declaration: field `(name, type_text)` pairs.
+pub struct StructDecl {
+    pub line: usize,
+    pub fields: Vec<(String, String)>,
+}
+
+/// Finds `struct <name> { ... }` in masked source and returns its fields.
+pub fn parse_struct(masked: &str, name: &str) -> Option<StructDecl> {
+    let (line, body) = find_braced_item(masked, "struct", name)?;
+    let fields = split_top_level(body)
+        .filter_map(|seg| {
+            let (lhs, ty) = seg.split_once(':')?;
+            let field = first_ident(strip_visibility(lhs))?;
+            Some((field, ty.trim().to_string()))
+        })
+        .collect();
+    Some(StructDecl { line, fields })
+}
+
+/// Array length declared as `NAME: [Type; N]`, e.g. `ALL: [Platform; 6]`.
+pub fn declared_array_len(masked: &str, const_name: &str, elem_type: &str) -> Option<usize> {
+    let pat = format!("{const_name}: [{elem_type}; ");
+    let at = masked.find(&pat)?;
+    let rest = &masked[at + pat.len()..];
+    let end = rest.find(']')?;
+    rest[..end].trim().parse().ok()
+}
+
+/// Value of `const NAME: usize = N;`.
+pub fn declared_const_usize(masked: &str, const_name: &str) -> Option<usize> {
+    let pat = format!("const {const_name}: usize = ");
+    let at = masked.find(&pat)?;
+    let rest = &masked[at + pat.len()..];
+    let end = rest.find(';')?;
+    rest[..end].trim().parse().ok()
+}
+
+fn strip_visibility(s: &str) -> &str {
+    let s = s.trim();
+    let s = s.strip_prefix("pub").map_or(s, |r| {
+        // `pub(crate)` etc.
+        let r = r.trim_start();
+        r.strip_prefix('(')
+            .and_then(|r| r.split_once(')'))
+            .map_or(r, |(_, tail)| tail)
+    });
+    s.trim()
+}
+
+/// Locates `<kw> <name> {` (word-bounded) and returns `(line, body)` where
+/// body excludes the outer braces.
+fn find_braced_item<'a>(masked: &'a str, kw: &str, name: &str) -> Option<(usize, &'a str)> {
+    let pat = format!("{kw} {name}");
+    let bytes = masked.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = masked[from..].find(&pat) {
+        let at = from + rel;
+        from = at + 1;
+        // Word boundaries on both sides of the name.
+        let before_ok = at == 0 || !bytes[at - 1].is_ascii_alphanumeric() && bytes[at - 1] != b'_';
+        let after = at + pat.len();
+        let after_ok = bytes
+            .get(after)
+            .is_none_or(|&b| !b.is_ascii_alphanumeric() && b != b'_');
+        if !(before_ok && after_ok) {
+            continue;
+        }
+        // Skip generics/where clauses: take the first `{` after the name.
+        let open_rel = masked[after..].find('{')?;
+        let open = after + open_rel;
+        let mut depth = 0i64;
+        for (off, &b) in bytes[open..].iter().enumerate() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let line = 1 + bytes[..at].iter().filter(|&&b| b == b'\n').count();
+                        return Some((line, &masked[open + 1..open + off]));
+                    }
+                }
+                _ => {}
+            }
+        }
+        return None;
+    }
+    None
+}
+
+/// Splits a declaration body at top-level commas (ignoring nested
+/// `()`/`{}`/`[]`/`<>` groups), yielding non-empty segments.
+fn split_top_level(body: &str) -> impl Iterator<Item = &str> {
+    let mut segments = Vec::new();
+    let mut depth = 0i64;
+    let mut start = 0;
+    for (i, b) in body.bytes().enumerate() {
+        match b {
+            b'(' | b'{' | b'[' | b'<' => depth += 1,
+            b')' | b'}' | b']' | b'>' => depth -= 1,
+            b',' if depth == 0 => {
+                segments.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    segments.push(&body[start..]);
+    segments.into_iter().filter(|s| !s.trim().is_empty())
+}
+
+/// First identifier in a segment, skipping attributes (already masked if in
+/// comments; `#[...]` attributes survive masking) and discriminants.
+fn first_ident(seg: &str) -> Option<String> {
+    let mut rest = seg.trim_start();
+    while let Some(tail) = rest.strip_prefix("#[") {
+        let close = tail.find(']')?;
+        rest = tail[close + 1..].trim_start();
+    }
+    let end = rest
+        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    let ident = &rest[..end];
+    (!ident.is_empty() && !ident.as_bytes()[0].is_ascii_digit()).then(|| ident.to_string())
+}
+
+/// Interface the engine uses to hand spec checks the files they need.
+pub struct SpecSource<'a> {
+    /// Repo-relative path → masked file.
+    pub files: &'a dyn Fn(&str) -> Option<&'a MaskedFile>,
+}
+
+fn fail(file: &str, line: usize, message: String) -> Finding {
+    Finding {
+        rule: "INC005",
+        severity: Severity::Error,
+        file: file.to_string(),
+        // File-level findings pass 0; diagnostics are 1-based.
+        line: line.max(1),
+        message,
+    }
+}
+
+/// Runs all INC005 checks. Missing files or unparseable declarations are
+/// themselves findings: the spec lint must never silently pass.
+pub fn check(src: &SpecSource<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+
+    const ATTACK: &str = "crates/taxonomy/src/attack.rs";
+    const PII_KIND: &str = "crates/taxonomy/src/pii_kind.rs";
+    const PLATFORM: &str = "crates/taxonomy/src/platform.rs";
+    const EXTRACT: &str = "crates/pii/src/extract.rs";
+    const CORPUS_PLATFORMS: &str = "crates/corpus/src/platforms.rs";
+
+    let get = |path: &str, out: &mut Vec<Finding>| -> Option<&MaskedFile> {
+        let f = (src.files)(path);
+        if f.is_none() {
+            out.push(fail(path, 0, "spec file missing from workspace".into()));
+        }
+        f
+    };
+
+    // 10 attack parents; 28 subcategories + GenericCall; COUNT and ALL agree.
+    if let Some(m) = get(ATTACK, &mut out) {
+        match parse_enum(&m.masked, "AttackType") {
+            Some(e) if e.variants.len() == expected::ATTACK_PARENTS => {
+                if declared_array_len(&m.masked, "ALL", "AttackType")
+                    != Some(expected::ATTACK_PARENTS)
+                {
+                    out.push(fail(
+                        ATTACK,
+                        e.line,
+                        format!(
+                            "AttackType::ALL length must be declared [AttackType; {}]",
+                            expected::ATTACK_PARENTS
+                        ),
+                    ));
+                }
+            }
+            Some(e) => out.push(fail(
+                ATTACK,
+                e.line,
+                format!(
+                    "AttackType has {} variants; the paper (Table 5) fixes {} parents",
+                    e.variants.len(),
+                    expected::ATTACK_PARENTS
+                ),
+            )),
+            None => out.push(fail(ATTACK, 0, "cannot parse `enum AttackType`".into())),
+        }
+        match parse_enum(&m.masked, "Subcategory") {
+            Some(e) => {
+                if e.variants.len() != expected::SUBCATEGORIES {
+                    out.push(fail(
+                        ATTACK,
+                        e.line,
+                        format!(
+                            "Subcategory has {} variants; the paper fixes 28 (Table 11) \
+                             plus the generic parent = {}",
+                            e.variants.len(),
+                            expected::SUBCATEGORIES
+                        ),
+                    ));
+                }
+                if !e.variants.iter().any(|v| v == "GenericCall") {
+                    out.push(fail(
+                        ATTACK,
+                        e.line,
+                        "Subcategory must keep the parent-only `GenericCall` label".into(),
+                    ));
+                }
+                if declared_const_usize(&m.masked, "COUNT") != Some(expected::SUBCATEGORIES) {
+                    out.push(fail(
+                        ATTACK,
+                        e.line,
+                        format!("Subcategory::COUNT must equal {}", expected::SUBCATEGORIES),
+                    ));
+                }
+            }
+            None => out.push(fail(ATTACK, 0, "cannot parse `enum Subcategory`".into())),
+        }
+    }
+
+    // 9 PII families.
+    if let Some(m) = get(PII_KIND, &mut out) {
+        match parse_enum(&m.masked, "PiiKind") {
+            Some(e) if e.variants.len() == expected::PII_FAMILIES => {
+                if declared_array_len(&m.masked, "ALL", "PiiKind") != Some(expected::PII_FAMILIES) {
+                    out.push(fail(
+                        PII_KIND,
+                        e.line,
+                        format!(
+                            "PiiKind::ALL length must be declared [PiiKind; {}]",
+                            expected::PII_FAMILIES
+                        ),
+                    ));
+                }
+            }
+            Some(e) => out.push(fail(
+                PII_KIND,
+                e.line,
+                format!(
+                    "PiiKind has {} variants; the paper (Table 6) fixes {} families",
+                    e.variants.len(),
+                    expected::PII_FAMILIES
+                ),
+            )),
+            None => out.push(fail(PII_KIND, 0, "cannot parse `enum PiiKind`".into())),
+        }
+    }
+
+    // 12 PII expressions: 12 `Regex` fields plus the card-network vector.
+    if let Some(m) = get(EXTRACT, &mut out) {
+        match parse_struct(&m.masked, "PiiExtractor") {
+            Some(s) => {
+                let regex_fields = s.fields.iter().filter(|(_, ty)| ty == "Regex").count();
+                if regex_fields != expected::PII_EXPRESSIONS {
+                    out.push(fail(
+                        EXTRACT,
+                        s.line,
+                        format!(
+                            "PiiExtractor declares {} `Regex` fields; §5.6 fixes {} \
+                             expressions",
+                            regex_fields,
+                            expected::PII_EXPRESSIONS
+                        ),
+                    ));
+                }
+                if !s.fields.iter().any(|(name, _)| name == "cards") {
+                    out.push(fail(
+                        EXTRACT,
+                        s.line,
+                        "PiiExtractor must keep the `cards` per-network patterns".into(),
+                    ));
+                }
+            }
+            None => out.push(fail(
+                EXTRACT,
+                0,
+                "cannot parse `struct PiiExtractor`".into(),
+            )),
+        }
+    }
+
+    // 6 platforms folded into 5 data sets; corpus must name every platform.
+    if let Some(m) = get(PLATFORM, &mut out) {
+        let platform_variants = match parse_enum(&m.masked, "Platform") {
+            Some(e) => {
+                if e.variants.len() != expected::PLATFORMS {
+                    out.push(fail(
+                        PLATFORM,
+                        e.line,
+                        format!(
+                            "Platform has {} variants; Table 1 fixes {} crawl sources",
+                            e.variants.len(),
+                            expected::PLATFORMS
+                        ),
+                    ));
+                }
+                if declared_array_len(&m.masked, "ALL", "Platform") != Some(expected::PLATFORMS) {
+                    out.push(fail(
+                        PLATFORM,
+                        e.line,
+                        format!(
+                            "Platform::ALL length must be declared [Platform; {}]",
+                            expected::PLATFORMS
+                        ),
+                    ));
+                }
+                e.variants
+            }
+            None => {
+                out.push(fail(PLATFORM, 0, "cannot parse `enum Platform`".into()));
+                Vec::new()
+            }
+        };
+        match parse_enum(&m.masked, "DataSet") {
+            Some(e) if e.variants.len() == expected::DATA_SETS => {}
+            Some(e) => out.push(fail(
+                PLATFORM,
+                e.line,
+                format!(
+                    "DataSet has {} variants; Table 1 fixes {} data-set families",
+                    e.variants.len(),
+                    expected::DATA_SETS
+                ),
+            )),
+            None => out.push(fail(PLATFORM, 0, "cannot parse `enum DataSet`".into())),
+        }
+        if let Some(corpus) = get(CORPUS_PLATFORMS, &mut out) {
+            for v in &platform_variants {
+                let pat = format!("Platform::{v}");
+                if !corpus.masked.contains(&pat) {
+                    out.push(fail(
+                        CORPUS_PLATFORMS,
+                        0,
+                        format!("corpus platform model never mentions `{pat}`"),
+                    ));
+                }
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_enum_counts_variants_with_payloads_and_discriminants() {
+        let src = "pub enum E {\n  A = 0,\n  B { x: u8, y: u8 },\n  C(Vec<u8>, u8),\n  D,\n}\n";
+        let m = MaskedFile::new(src);
+        let e = parse_enum(&m.masked, "E").unwrap();
+        assert_eq!(e.variants, vec!["A", "B", "C", "D"]);
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn parse_enum_skips_attributes_and_doc_comments() {
+        let src = "enum E {\n  /// doc, with, commas\n  #[serde(rename = \"a\")]\n  A,\n  B,\n}\n";
+        let m = MaskedFile::new(src);
+        assert_eq!(parse_enum(&m.masked, "E").unwrap().variants.len(), 2);
+    }
+
+    #[test]
+    fn parse_enum_is_word_bounded() {
+        let src = "enum NotE { X, Y }\nenum E { A }\n";
+        let m = MaskedFile::new(src);
+        assert_eq!(parse_enum(&m.masked, "E").unwrap().variants, vec!["A"]);
+    }
+
+    #[test]
+    fn parse_struct_extracts_field_types() {
+        let src = "pub struct S {\n  pub a: Regex,\n  b: Vec<(Regex, &'static str)>,\n  pub(crate) c: Regex,\n}\n";
+        let m = MaskedFile::new(src);
+        let s = parse_struct(&m.masked, "S").unwrap();
+        assert_eq!(s.fields.len(), 3);
+        assert_eq!(s.fields.iter().filter(|(_, t)| t == "Regex").count(), 2);
+        assert!(s.fields.iter().any(|(n, _)| n == "b"));
+    }
+
+    #[test]
+    fn declared_lengths_and_consts() {
+        let src = "const COUNT: usize = 29;\npub const ALL: [Platform; 6] = [];\n";
+        let m = MaskedFile::new(src);
+        assert_eq!(declared_const_usize(&m.masked, "COUNT"), Some(29));
+        assert_eq!(declared_array_len(&m.masked, "ALL", "Platform"), Some(6));
+        assert_eq!(declared_array_len(&m.masked, "ALL", "DataSet"), None);
+    }
+}

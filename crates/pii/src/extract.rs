@@ -104,7 +104,7 @@ impl PiiExtractor {
     /// are constants covered by tests).
     pub fn new() -> Self {
         let ci = |p: &str| Regex::case_insensitive(p).expect("builtin pattern compiles");
-        PiiExtractor {
+        let extractor = PiiExtractor {
             email: ci(r"\b[a-z0-9._%+-]+@[a-z0-9.-]+\.[a-z][a-z]+\b"),
             // US phone: optional +1/1 prefix, optional parens, common
             // separators. The 555-01XX fictional exchange also matches.
@@ -140,7 +140,12 @@ impl PiiExtractor {
                 r"(https?://)?(www\.)?youtube\.com/((channel|c|user)/|@)?([a-z0-9_-]+)",
             ),
             youtube_inline: ci(r"\byoutube\s*:\s*(?:youtube\s*:\s*)?@?([a-z0-9_-]+)"),
-        }
+        };
+        // Spec mirrors of the INC005 lint: Table 6 fixes nine PII families;
+        // §5.6's twelve expressions count each card network once.
+        debug_assert_eq!(PiiKind::ALL.len(), 9);
+        debug_assert_eq!(extractor.cards.len(), 4);
+        extractor
     }
 
     /// Extracts all PII spans from a document.
@@ -302,7 +307,11 @@ impl PiiExtractor {
         out: &mut Vec<PiiMatch>,
     ) {
         for caps in re.captures_iter(text) {
-            let whole = caps.get(0).expect("group 0");
+            // Group 0 is always present in a match; skip defensively rather
+            // than panic if the VM ever returns malformed slots.
+            let Some(whole) = caps.get(0) else {
+                continue;
+            };
             let Some(handle) = caps.get(handle_group) else {
                 continue;
             };

@@ -78,7 +78,7 @@ impl<'p> Parser<'p> {
             branches.push(self.concat()?);
         }
         Ok(if branches.len() == 1 {
-            branches.pop().unwrap()
+            branches.pop().unwrap_or(Ast::Empty)
         } else {
             Ast::Alternate(branches)
         })
@@ -94,7 +94,7 @@ impl<'p> Parser<'p> {
         }
         Ok(match items.len() {
             0 => Ast::Empty,
-            1 => items.pop().unwrap(),
+            1 => items.pop().unwrap_or(Ast::Empty),
             _ => Ast::Concat(items),
         })
     }

@@ -71,12 +71,12 @@ impl BinaryConfusion {
     pub fn table_metrics(&self) -> MultiMetrics {
         let pos = self.positive_scores();
         let neg = self.negative_scores();
-        let total_support = (pos.support + neg.support) as f64;
+        let total_support = pos.support + neg.support;
         let weight = |a: f64, b: f64| {
-            if total_support == 0.0 {
+            if total_support == 0 {
                 f64::NAN
             } else {
-                (a * pos.support as f64 + b * neg.support as f64) / total_support
+                (a * pos.support as f64 + b * neg.support as f64) / total_support as f64
             }
         };
         MultiMetrics {
@@ -109,6 +109,9 @@ fn prf(tp: u64, fp: u64, fn_: u64) -> PrfScores {
     } else {
         tp as f64 / (tp + fn_) as f64
     };
+    // Exact-zero guard against 0/0: both terms are nonnegative ratios, so
+    // the sum is 0.0 iff both are identically zero.
+    // incite-lint: allow(INC003)
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {
@@ -180,11 +183,13 @@ pub struct RocPoint {
 
 /// The full ROC curve, one point per distinct score threshold (descending).
 pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<RocPoint> {
-    let n_pos = labels.iter().filter(|&&l| l).count() as f64;
-    let n_neg = labels.len() as f64 - n_pos;
-    if n_pos == 0.0 || n_neg == 0.0 {
+    let pos_count = labels.iter().filter(|&&l| l).count();
+    let neg_count = labels.len() - pos_count;
+    if pos_count == 0 || neg_count == 0 {
         return Vec::new();
     }
+    let n_pos = pos_count as f64;
+    let n_neg = neg_count as f64;
     let mut order: Vec<usize> = (0..scores.len()).collect();
     order.sort_by(|&i, &j| {
         scores[j]

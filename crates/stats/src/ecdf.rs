@@ -10,7 +10,7 @@ impl Ecdf {
     /// Builds an ECDF; NaN values are dropped.
     pub fn new(data: &[f64]) -> Self {
         let mut sorted: Vec<f64> = data.iter().copied().filter(|x| !x.is_nan()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         Ecdf { sorted }
     }
 
@@ -51,7 +51,9 @@ impl Ecdf {
             .collect();
         // exp(ln(max)) can round a hair below max; the grid must end exactly
         // at max so CDF curves terminate at 1.
-        *grid.last_mut().unwrap() = max;
+        if let Some(last) = grid.last_mut() {
+            *last = max;
+        }
         grid
     }
 

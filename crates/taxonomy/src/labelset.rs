@@ -28,16 +28,12 @@ impl LabelSet {
 
     /// Creates a set containing a single label.
     pub fn single(sub: Subcategory) -> Self {
+        // Spec mirrors of the INC005 lint: ten parents (Table 5) and 28
+        // subcategories plus the generic parent label (Table 11). The
+        // bit-set representation additionally requires COUNT ≤ 32.
+        debug_assert_eq!(AttackType::ALL.len(), 10);
+        debug_assert_eq!(Subcategory::COUNT, 29);
         LabelSet(1 << sub.index())
-    }
-
-    /// Builds a set from an iterator of labels.
-    pub fn from_iter<I: IntoIterator<Item = Subcategory>>(iter: I) -> Self {
-        let mut set = Self::new();
-        for sub in iter {
-            set.insert(sub);
-        }
-        set
     }
 
     /// Inserts a label; returns `true` if it was newly added.
@@ -138,7 +134,11 @@ impl LabelSet {
 
 impl FromIterator<Subcategory> for LabelSet {
     fn from_iter<I: IntoIterator<Item = Subcategory>>(iter: I) -> Self {
-        Self::from_iter(iter)
+        let mut set = Self::new();
+        for sub in iter {
+            set.insert(sub);
+        }
+        set
     }
 }
 

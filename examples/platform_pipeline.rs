@@ -22,16 +22,26 @@ fn main() {
         .chain(corpus.by_platform(Platform::Gab))
         .map(|d| (d.text.as_str(), d.truth.is_cth))
         .collect();
-    println!("Stage 1: training detector on {} labeled messages", history.len());
+    println!(
+        "Stage 1: training detector on {} labeled messages",
+        history.len()
+    );
     let detector = TextClassifier::train(
         history,
-        FeaturizerConfig { max_len: 128, mode: FeatureMode::Subword, ..Default::default() },
+        FeaturizerConfig {
+            max_len: 128,
+            mode: FeatureMode::Subword,
+            ..Default::default()
+        },
         TrainConfig::default(),
     );
     // The §3 open-sourcing commitment: persist the model (no training text).
     let mut artifact = Vec::new();
     save_model(&mut artifact, &detector).expect("serialize model");
-    println!("         model artifact: {} KiB of weights+vocab, zero training text", artifact.len() / 1024);
+    println!(
+        "         model artifact: {} KiB of weights+vocab, zero training text",
+        artifact.len() / 1024
+    );
 
     // ---- Stage 2: train the per-attack-type classifier ------------------
     let labeled_cth: Vec<(String, LabelSet)> = corpus
@@ -40,7 +50,11 @@ fn main() {
         .filter(|d| d.truth.is_cth && d.platform != Platform::Blogs)
         .map(|d| (d.text.clone(), d.truth.labels))
         .collect();
-    println!("Stage 2: training {}-type attack classifier on {} incitements", 10, labeled_cth.len());
+    println!(
+        "Stage 2: training {}-type attack classifier on {} incitements",
+        10,
+        labeled_cth.len()
+    );
     let typer =
         AttackTypeClassifier::train(&labeled_cth, default_featurizer(), TrainConfig::default());
     println!(
@@ -51,8 +65,7 @@ fn main() {
 
     // ---- Stage 3: run the incoming stream through the full loop ---------
     let extractor = PiiExtractor::new();
-    let stream: Vec<&incite::corpus::Document> =
-        corpus.by_platform(Platform::Discord).collect();
+    let stream: Vec<&incite::corpus::Document> = corpus.by_platform(Platform::Discord).collect();
     println!("\nStage 3: moderating {} incoming messages\n", stream.len());
 
     let mut flagged = 0;

@@ -5,11 +5,13 @@
 use incite::corpus::{generate, CorpusConfig};
 use incite::ml::{grid_search, FeatureMode, GridPoint};
 
+type LabeledSplit = Vec<(String, bool)>;
+
 fn task_data(
     corpus: &incite::corpus::Corpus,
     is_positive: impl Fn(&incite::corpus::Document) -> bool,
     n_pos: usize,
-) -> (Vec<(String, bool)>, Vec<(String, bool)>) {
+) -> (LabeledSplit, LabeledSplit) {
     let pos: Vec<String> = corpus
         .documents
         .iter()

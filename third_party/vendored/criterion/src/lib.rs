@@ -1,0 +1,401 @@
+//! Offline vendored substitute for
+//! [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the workspace's benchmark surface: `Criterion`,
+//! `benchmark_group` with `throughput`/`sample_size`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: per sample, the iteration count is
+//! calibrated so a sample takes a few milliseconds, and the reported
+//! number is the median over `sample_size` samples. There are no HTML
+//! reports, no statistical regression analysis, and no saved baselines —
+//! output is one plain-text line per benchmark. `--test` (as passed by
+//! `cargo test --benches`) runs each benchmark body once and skips
+//! timing.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one measured sample.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(5);
+
+/// Work-rate unit attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Input size in bytes per iteration.
+    Bytes(u64),
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes, decimal-scaled in reports (kept for API parity).
+    BytesDecimal(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    /// Filled in by `iter`: (median per-iteration nanos, total iters).
+    result: Option<(f64, u64)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Measure,
+    TestOnce,
+}
+
+impl Bencher {
+    /// Measures the closure. Return values are routed through
+    /// [`black_box`] so computing them cannot be optimized away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode == Mode::TestOnce {
+            black_box(routine());
+            self.result = Some((0.0, 1));
+            return;
+        }
+        // Calibrate: grow the per-sample iteration count until one sample
+        // costs roughly TARGET_SAMPLE_TIME.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_SAMPLE_TIME || iters >= 1 << 30 {
+                break;
+            }
+            let growth = if elapsed < TARGET_SAMPLE_TIME / 10 { 10 } else { 2 };
+            iters = iters.saturating_mul(growth);
+        }
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size.max(1) {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+            total_iters += iters;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = samples[samples.len() / 2];
+        self.result = Some((median, total_iters));
+    }
+}
+
+/// Top-level benchmark driver; one per `criterion_group!` function list.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: Mode::Measure,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line arguments (`--test`, a name filter); other
+    /// flags cargo may pass (`--bench`, harness options) are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.mode = Mode::TestOnce,
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                s if s.starts_with("--") => {
+                    // Flags with values we don't interpret.
+                    if matches!(
+                        s,
+                        "--save-baseline" | "--baseline" | "--measurement-time"
+                            | "--warm-up-time" | "--sample-size"
+                    ) {
+                        let _ = args.next();
+                    }
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+
+    /// Ungrouped single benchmark (kept for API parity).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let group_name = id.to_string();
+        self.benchmark_group(group_name).bench_function("run", f);
+        self
+    }
+
+    /// Runs the final-summary hook (no-op here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work rate used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks a closure under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_benchmark_id();
+        self.run(&id.id, |b| f(b));
+        self
+    }
+
+    /// Benchmarks a closure that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is per-benchmark).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            mode: self.criterion.mode,
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        match (self.criterion.mode, bencher.result) {
+            (Mode::TestOnce, _) => println!("test {full} ... ok"),
+            (Mode::Measure, Some((nanos, _))) => {
+                let mut line = format!("{full:<50} time: [{}]", format_nanos(nanos));
+                if let Some(tp) = self.throughput {
+                    let (amount, unit) = match tp {
+                        Throughput::Bytes(n) | Throughput::BytesDecimal(n) => (n, "B"),
+                        Throughput::Elements(n) => (n, "elem"),
+                    };
+                    if nanos > 0.0 && amount > 0 {
+                        let per_sec = amount as f64 / (nanos * 1e-9);
+                        let _ = write!(line, "  thrpt: [{}/s]", format_scaled(per_sec, unit));
+                    }
+                }
+                println!("{line}");
+            }
+            (Mode::Measure, None) => println!("{full:<50} (no measurement: iter not called)"),
+        }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`], so string literals work directly.
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+fn format_nanos(nanos: f64) -> String {
+    if nanos < 1e3 {
+        format!("{nanos:.2} ns")
+    } else if nanos < 1e6 {
+        format!("{:.3} µs", nanos / 1e3)
+    } else if nanos < 1e9 {
+        format!("{:.3} ms", nanos / 1e6)
+    } else {
+        format!("{:.3} s", nanos / 1e9)
+    }
+}
+
+fn format_scaled(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{unit}", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}")
+    }
+}
+
+/// Declares a group function running each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `fn main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_one(mode: Mode, sample_size: usize) -> Option<(f64, u64)> {
+        let mut b = Bencher {
+            mode,
+            sample_size,
+            result: None,
+        };
+        let mut counter = 0u64;
+        b.iter(|| {
+            counter = counter.wrapping_add(black_box(1));
+            counter
+        });
+        b.result
+    }
+
+    #[test]
+    fn measure_mode_produces_positive_time() {
+        let (nanos, iters) = run_one(Mode::Measure, 3).expect("result recorded");
+        assert!(nanos >= 0.0);
+        assert!(iters >= 3);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let (_, iters) = run_one(Mode::TestOnce, 50).expect("result recorded");
+        assert_eq!(iters, 1);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion {
+            mode: Mode::TestOnce,
+            filter: None,
+        };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.sample_size(5);
+        group.bench_function("f", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn filtering_skips_nonmatching() {
+        let mut c = Criterion {
+            mode: Mode::TestOnce,
+            filter: Some("nomatch".into()),
+        };
+        let mut ran = false;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("f", |b| {
+            ran = true;
+            b.iter(|| 0)
+        });
+        group.finish();
+        assert!(!ran);
+    }
+
+    #[test]
+    fn formatting_units() {
+        assert!(format_nanos(12.0).ends_with("ns"));
+        assert!(format_nanos(12_000.0).ends_with("µs"));
+        assert!(format_nanos(12_000_000.0).ends_with("ms"));
+        assert!(format_scaled(2e9, "B").starts_with("2.000 G"));
+        assert!(format_scaled(500.0, "elem").contains("elem"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Offline vendored substitute for the
+//! [`crossbeam`](https://crates.io/crates/crossbeam) crate, implementing the
+//! API subset this workspace uses: [`thread::scope`] with handle joining.
+//!
+//! Since Rust 1.63 the standard library ships scoped threads, so this is a
+//! thin adapter that preserves the crossbeam call shape
+//! (`scope(|s| { s.spawn(|_| …) })`, `scope` returning `Result`).
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads with the crossbeam 0.8 calling convention.
+
+    use std::thread as std_thread;
+
+    /// Result of joining a scoped thread (`Err` carries the panic payload).
+    pub type Result<T> = std_thread::Result<T>;
+
+    /// A scope handle; passed both to the closure given to [`scope`] and to
+    /// every spawned thread's closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle so
+        /// it can spawn further threads, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish; `Err` if it panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope in which threads borrowing from the environment can
+    /// be spawned; all unjoined threads are joined before `scope` returns.
+    ///
+    /// Unlike crossbeam, a panic in an *unjoined* spawned thread propagates
+    /// when the scope ends (std semantics) rather than being collected into
+    /// the returned `Result`; every call site in this workspace joins all
+    /// of its handles, so the two behaviours coincide here.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_spawns_and_joins() {
+        let data = vec![1u64, 2, 3, 4, 5, 6, 7, 8];
+        let total: u64 = thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(3)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .sum()
+        })
+        .expect("scope failed");
+        assert_eq!(total, 36);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = thread::scope(|s| {
+            let h = s.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21u32);
+                h2.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn join_reports_panics() {
+        let r = thread::scope(|s| {
+            let h = s.spawn(|_| -> u32 { panic!("boom") });
+            h.join()
+        })
+        .unwrap();
+        assert!(r.is_err());
+    }
+}

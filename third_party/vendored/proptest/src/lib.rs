@@ -1,0 +1,858 @@
+//! Offline vendored substitute for
+//! [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Implements the subset of the proptest API used by this workspace:
+//! `proptest!`, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`,
+//! `Strategy` with `prop_map`, `any::<T>()`, numeric range strategies,
+//! regex-subset string strategies (`".{0,200}"`, `"[a-z]{1,10}"`),
+//! `prop::collection::{vec, btree_map}`, `prop::sample::select`, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Differences from upstream, by design:
+//! - **No shrinking.** A failing case reports the case seed so it can be
+//!   reproduced, but is not minimized.
+//! - **Deterministic.** Case seeds derive from the test name and case
+//!   index (FNV-1a), so runs are reproducible across machines; there is
+//!   no `PROPTEST_` environment handling.
+//! - Default case count is 64 rather than 256.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+// ---------------------------------------------------------------------------
+// RNG: SplitMix64, self-contained so the crate stays dependency-free.
+// ---------------------------------------------------------------------------
+
+/// Deterministic per-case random source handed to strategies.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // 128-bit widening multiply: unbiased enough for test generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Test runner
+// ---------------------------------------------------------------------------
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: the case is discarded, not counted.
+    Reject(String),
+    /// `prop_assert!`/`prop_assert_eq!` failed: the test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failing variant (mirrors upstream's constructor).
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds the rejection variant.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Runner configuration; only `cases` is interpreted.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on `prop_assume!` discards before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Drives one property: generates cases until `config.cases` pass.
+/// Called by the `proptest!` expansion; not part of the public API shape
+/// of upstream, but kept public for the macro.
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name.as_bytes());
+    let mut passed = 0u32;
+    let mut rejects = 0u32;
+    let mut index = 0u64;
+    while passed < config.cases {
+        let seed = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::new(seed);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "proptest `{name}`: too many prop_assume! rejections \
+                         ({rejects}) before {passed}/{} cases passed",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{name}` failed at case #{index} (seed {seed:#x}): {msg}"
+                );
+            }
+        }
+        index += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait
+// ---------------------------------------------------------------------------
+
+/// A generator of test values. Unlike upstream there is no value tree and
+/// no shrinking: `generate` produces the final value directly.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value from this strategy.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+// Numeric range strategies: `lo..hi` draws uniformly from the half-open
+// interval, matching upstream's `Range<T>: Strategy`.
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "empty integer range strategy {}..{}",
+                    self.start, self.end
+                );
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = rng.below(span);
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range strategy");
+        let v = self.start + rng.unit_f64() * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty f32 range strategy");
+        let v = self.start + (rng.unit_f64() as f32) * (self.end - self.start);
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+// Tuple strategies.
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String strategies from regex-subset patterns
+// ---------------------------------------------------------------------------
+
+/// Pool backing `.`: printable ASCII plus whitespace, a control character,
+/// and multi-byte characters so byte-index handling gets exercised.
+/// Upstream's `.` is "any char except \n"; this is a representative sample.
+const ANY_POOL: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'k', 'o', 'r', 's', 't', 'z', 'A', 'B', 'Q', 'Z',
+    '0', '1', '7', '9', ' ', ' ', ' ', '\t', '.', ',', ':', ';', '!', '?', '@',
+    '#', '/', '-', '_', '\'', '"', '(', ')', '[', '*', '\u{7}', 'é', 'ß', '中',
+    '🙂',
+];
+
+#[derive(Debug, Clone)]
+enum CharSet {
+    Any,
+    Choices(Vec<char>),
+}
+
+impl CharSet {
+    fn pick(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharSet::Any => ANY_POOL[rng.below(ANY_POOL.len() as u64) as usize],
+            CharSet::Choices(cs) => cs[rng.below(cs.len() as u64) as usize],
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    set: CharSet,
+    min: u32,
+    max: u32,
+}
+
+/// Parses the regex subset used in strategy position: literal characters,
+/// `.`, character classes `[...]` with `a-z` ranges, and quantifiers
+/// `{m}`, `{m,n}`, `*`, `+`, `?`. Anything else panics — strategy
+/// patterns are fixed strings in test code, so this fails fast and loudly.
+fn parse_string_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '.' => {
+                i += 1;
+                CharSet::Any
+            }
+            '[' => {
+                i += 1;
+                let mut choices = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad class range in {pattern:?}");
+                        for c in lo..=hi {
+                            choices.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        choices.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in {pattern:?}"
+                );
+                i += 1; // skip ']'
+                assert!(!choices.is_empty(), "empty character class in {pattern:?}");
+                CharSet::Choices(choices)
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "trailing backslash in {pattern:?}");
+                let c = chars[i + 1];
+                i += 2;
+                CharSet::Choices(vec![c])
+            }
+            c => {
+                i += 1;
+                CharSet::Choices(vec![c])
+            }
+        };
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    i += 1;
+                    let mut m = 0u32;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        m = m * 10 + chars[i].to_digit(10).unwrap_or(0);
+                        i += 1;
+                    }
+                    let n = if i < chars.len() && chars[i] == ',' {
+                        i += 1;
+                        let mut n = 0u32;
+                        while i < chars.len() && chars[i].is_ascii_digit() {
+                            n = n * 10 + chars[i].to_digit(10).unwrap_or(0);
+                            i += 1;
+                        }
+                        n
+                    } else {
+                        m
+                    };
+                    assert!(
+                        i < chars.len() && chars[i] == '}',
+                        "unterminated counted repeat in {pattern:?}"
+                    );
+                    i += 1;
+                    assert!(m <= n, "inverted counted repeat in {pattern:?}");
+                    (m, n)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { set, min, max });
+    }
+    atoms
+}
+
+/// `&str` in strategy position: generates strings matching the pattern.
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_string_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as u32;
+            for _ in 0..n {
+                out.push(atom.set.pick(rng));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>() / Arbitrary
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical "generate anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, wide-range doubles; NaN/inf generation is not needed here.
+        (rng.unit_f64() - 0.5) * 2e12
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        ((rng.unit_f64() - 0.5) * 2e6) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        ANY_POOL[rng.below(ANY_POOL.len() as u64) as usize]
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`, as in `any::<u64>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// Collection strategies
+// ---------------------------------------------------------------------------
+
+/// Collection strategies (`prop::collection::{vec, btree_map}`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a size drawn from `sizes`.
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: Range<usize>,
+    }
+
+    /// Generates vectors of `element` values with length in `sizes`.
+    pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, sizes }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = pick_size(&self.sizes, rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K, V>`.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        sizes: Range<usize>,
+    }
+
+    /// Generates maps with up to `sizes` entries (duplicate keys collapse,
+    /// as with upstream's generator).
+    pub fn btree_map<K, V>(key: K, value: V, sizes: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, sizes }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let n = pick_size(&self.sizes, rng);
+            let mut map = BTreeMap::new();
+            for _ in 0..n {
+                map.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            map
+        }
+    }
+
+    fn pick_size(sizes: &Range<usize>, rng: &mut TestRng) -> usize {
+        assert!(sizes.start < sizes.end, "empty collection size range");
+        sizes.start + rng.below((sizes.end - sizes.start) as u64) as usize
+    }
+}
+
+/// Sampling strategies (`prop::sample::select`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy choosing uniformly from a fixed set of options.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Picks one of `options`, cloned, uniformly at random.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+// `prop::` paths in test code resolve through this module.
+/// Namespace mirror so `prop::collection::vec` etc. work via the prelude.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// The standard prelude: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Asserts a condition inside a proptest body, failing the case (not
+/// panicking directly) so the runner can report the case seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert!({}) failed at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert!({}) failed at {}:{}: {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_eq! failed at {}:{}: {:?} != {:?}",
+                file!(),
+                line!(),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_eq! failed at {}:{}: {:?} != {:?}: {}",
+                file!(),
+                line!(),
+                l,
+                r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_ne! failed at {}:{}: both {:?}",
+                file!(),
+                line!(),
+                l
+            )));
+        }
+    }};
+}
+
+/// Discards the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!(
+                $cond
+            )));
+        }
+    };
+}
+
+/// Declares property tests. Supports the two forms used in practice:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn prop(x in 0u32..10, s in "[a-z]{1,4}") { prop_assert!(x < 10); }
+/// }
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(6))]
+///     #[test]
+///     fn prop(seed in 0u64..100) { /* ... */ }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (@impl ($config:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_proptest(&config, stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), __proptest_rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut rng = crate::TestRng::new(7);
+        for _ in 0..200 {
+            let s = Strategy::generate("[a-z]{1,10}", &mut rng);
+            assert!((1..=10).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+        for _ in 0..100 {
+            let s = Strategy::generate(".{0,20}", &mut rng);
+            assert!(s.chars().count() <= 20);
+            assert!(!s.contains('\n'));
+        }
+        let lit = Strategy::generate("abc", &mut rng);
+        assert_eq!(lit, "abc");
+    }
+
+    #[test]
+    fn ranges_are_in_bounds() {
+        let mut rng = crate::TestRng::new(3);
+        for _ in 0..500 {
+            let x = Strategy::generate(&(5u32..17), &mut rng);
+            assert!((5..17).contains(&x));
+            let y = Strategy::generate(&(-3i64..4), &mut rng);
+            assert!((-3..4).contains(&y));
+            let f = Strategy::generate(&(-1.5f64..2.5), &mut rng);
+            assert!((-1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn collections_and_maps() {
+        let mut rng = crate::TestRng::new(11);
+        for _ in 0..50 {
+            let v = Strategy::generate(
+                &prop::collection::vec(0u32..100, 2..6),
+                &mut rng,
+            );
+            assert!((2..6).contains(&v.len()));
+            let m = Strategy::generate(
+                &prop::collection::btree_map(0u32..8, any::<bool>(), 0..10),
+                &mut rng,
+            );
+            assert!(m.len() < 10);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_roundtrip(x in 0u8..200, flag in any::<bool>(), s in "[ab]{0,4}") {
+            prop_assert!(x < 200);
+            prop_assert_eq!(flag, flag);
+            prop_assume!(s.len() < 100);
+            prop_assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_form_compiles(seed in 0u64..1000) {
+            prop_assert!(seed < 1000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_seed() {
+        crate::run_proptest(
+            &ProptestConfig::with_cases(3),
+            "always_fails",
+            |_rng| Err(TestCaseError::fail("nope")),
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let one: Vec<String> = {
+            let mut rng = crate::TestRng::new(99);
+            (0..10)
+                .map(|_| Strategy::generate(".{0,30}", &mut rng))
+                .collect()
+        };
+        let two: Vec<String> = {
+            let mut rng = crate::TestRng::new(99);
+            (0..10)
+                .map(|_| Strategy::generate(".{0,30}", &mut rng))
+                .collect()
+        };
+        assert_eq!(one, two);
+    }
+}

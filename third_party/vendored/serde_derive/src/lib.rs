@@ -1,0 +1,597 @@
+//! Offline vendored substitute for `serde_derive`.
+//!
+//! Hand-rolled over the built-in `proc_macro` crate (no `syn`/`quote`,
+//! which are unreachable in this registry-less build environment). It
+//! supports exactly the shapes this workspace derives:
+//!
+//! * structs with named fields,
+//! * newtype and tuple structs,
+//! * enums with unit, named-field, and tuple variants (externally tagged,
+//!   matching upstream's default representation),
+//! * container attributes `#[serde(from = "T")]` / `#[serde(into = "T")]`.
+//!
+//! Anything else (generics, unknown `#[serde(...)]`
+//! attributes) produces a `compile_error!` naming the limitation, so a
+//! future use of unsupported surface fails loudly at the declaration site
+//! rather than misbehaving at run time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree flavour: `fn to_value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour: `fn from_value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+    /// `#[serde(from = "T")]` — deserialize via `From<T>`.
+    from_ty: Option<String>,
+    /// `#[serde(into = "T")]` — serialize via `Clone` + `Into<T>`.
+    into_ty: Option<String>,
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => generate(&parsed, dir)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("vendored serde_derive codegen: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error tokens")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut from_ty = None;
+    let mut into_ty = None;
+
+    // Outer attributes: `#` followed by a bracket group.
+    while i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[i + 1] else {
+            return Err("expected attribute group after `#`".into());
+        };
+        parse_container_attr(g.stream(), &mut from_ty, &mut into_ty)?;
+        i += 2;
+    }
+
+    // Visibility: `pub`, optionally `pub(...)`.
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("vendored serde_derive cannot derive for `{kind}`"));
+    }
+
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+
+    let shape = if kind == "struct" {
+        match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            _ => return Err(format!("unrecognized struct body for `{name}`")),
+        }
+    } else {
+        match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err(format!("expected enum body for `{name}`")),
+        }
+    };
+
+    Ok(Input {
+        name,
+        shape,
+        from_ty,
+        into_ty,
+    })
+}
+
+/// Parses one outer attribute's content; records `serde(from/into)`.
+fn parse_container_attr(
+    stream: TokenStream,
+    from_ty: &mut Option<String>,
+    into_ty: &mut Option<String>,
+) -> Result<(), String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let is_serde = matches!(&tokens.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+    if !is_serde {
+        return Ok(()); // doc comments, #[repr(...)], other derives' attrs
+    }
+    let Some(TokenTree::Group(inner)) = tokens.get(1) else {
+        return Err("malformed #[serde(...)] attribute".into());
+    };
+    let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut j = 0;
+    while j < inner.len() {
+        let key = match &inner[j] {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                j += 1;
+                continue;
+            }
+            other => return Err(format!("unexpected token in #[serde(...)]: {other}")),
+        };
+        j += 1;
+        let has_value =
+            matches!(&inner.get(j), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+        let value = if has_value {
+            j += 1;
+            match &inner.get(j) {
+                Some(TokenTree::Literal(lit)) => {
+                    j += 1;
+                    let s = lit.to_string();
+                    Some(
+                        s.strip_prefix('"')
+                            .and_then(|s| s.strip_suffix('"'))
+                            .ok_or_else(|| format!("expected string literal for `{key}`"))?
+                            .to_string(),
+                    )
+                }
+                _ => return Err(format!("expected literal value for serde attr `{key}`")),
+            }
+        } else {
+            None
+        };
+        match (key.as_str(), value) {
+            ("from", Some(t)) => *from_ty = Some(t),
+            ("into", Some(t)) => *into_ty = Some(t),
+            (other, _) => {
+                return Err(format!(
+                    "vendored serde_derive does not support #[serde({other} ...)]"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Skips an attribute (`#` + group) at `tokens[*i]`, if present.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while *i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[*i] else {
+            return;
+        };
+        if p.as_char() != '#' {
+            return;
+        }
+        if !matches!(&tokens[*i + 1], TokenTree::Group(_)) {
+            return;
+        }
+        *i += 2;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match &tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        if !matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        i += 1;
+        skip_type_until_comma(&tokens, &mut i);
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Advances past type tokens until a comma at angle-bracket depth 0,
+/// consuming the comma too.
+fn skip_type_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                // A trailing comma does not introduce a new field.
+                if idx + 1 < tokens.len() {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let fields = match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        match &tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                i += 1;
+                // Skip the discriminant expression up to the next comma.
+                skip_type_until_comma(&tokens, &mut i);
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                i += 1;
+            }
+            None => {}
+            other => return Err(format!("unexpected token after variant: {other:?}")),
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// One `match self` arm serializing a variant in the externally tagged
+/// representation: `"Name"` for unit variants, `{"Name": {...}}` for
+/// named fields, `{"Name": value}` / `{"Name": [...]}` for tuples.
+fn serialize_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        VariantFields::Unit => format!(
+            "{enum_name}::{vname} => \
+             ::serde::Value::Str(::std::string::String::from({vname:?})),"
+        ),
+        VariantFields::Named(fields) => {
+            let binds = fields.join(", ");
+            let mut body = String::from("let mut inner = ::serde::Map::new();\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "inner.insert(::std::string::String::from({f:?}), \
+                     ::serde::Serialize::to_value({f}));\n"
+                ));
+            }
+            format!(
+                "{enum_name}::{vname} {{ {binds} }} => {{\n{body}\
+                 let mut outer = ::serde::Map::new();\n\
+                 outer.insert(::std::string::String::from({vname:?}), \
+                 ::serde::Value::Object(inner));\n\
+                 ::serde::Value::Object(outer)\n}}"
+            )
+        }
+        VariantFields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let payload = if *n == 1 {
+                "::serde::Serialize::to_value(f0)".to_string()
+            } else {
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "{enum_name}::{vname}({}) => {{\n\
+                 let mut outer = ::serde::Map::new();\n\
+                 outer.insert(::std::string::String::from({vname:?}), {payload});\n\
+                 ::serde::Value::Object(outer)\n}}",
+                binds.join(", ")
+            )
+        }
+    }
+}
+
+/// The `from_value` body for an enum: strings select unit variants;
+/// single-key objects select data-carrying variants by tag.
+fn deserialize_enum_body(enum_name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, VariantFields::Unit))
+        .map(|v| {
+            let vname = &v.name;
+            format!("{vname:?} => ::std::result::Result::Ok({enum_name}::{vname}),")
+        })
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                VariantFields::Unit => None,
+                VariantFields::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::from_field(fields, {f:?})?,"))
+                        .collect();
+                    Some(format!(
+                        "{vname:?} => match payload {{\n\
+                             ::serde::Value::Object(fields) => \
+                                 ::std::result::Result::Ok({enum_name}::{vname} {{\n{}\n}}),\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"expected object payload for {enum_name}::{vname}, \
+                                 found {{}}\", other.kind()))),\n\
+                         }},",
+                        inits.join("\n")
+                    ))
+                }
+                VariantFields::Tuple(1) => Some(format!(
+                    "{vname:?} => ::std::result::Result::Ok(\
+                     {enum_name}::{vname}(::serde::Deserialize::from_value(payload)?)),"
+                )),
+                VariantFields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                        .collect();
+                    Some(format!(
+                        "{vname:?} => match payload {{\n\
+                             ::serde::Value::Array(items) if items.len() == {n} => \
+                                 ::std::result::Result::Ok({enum_name}::{vname}(\n{}\n)),\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"expected array of {n} for {enum_name}::{vname}, \
+                                 found {{}}\", other.kind()))),\n\
+                         }},",
+                        inits.join("\n")
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "match v {{\n\
+             ::serde::Value::Str(s) => match s.as_str() {{\n{units}\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"unknown {enum_name} variant `{{other}}`\"))),\n\
+             }},\n\
+             ::serde::Value::Object(obj) if obj.len() == 1 => {{\n\
+                 let (tag, payload) = match obj.iter().next() {{\n\
+                     ::std::option::Option::Some(kv) => kv,\n\
+                     ::std::option::Option::None => return \
+                         ::std::result::Result::Err(::serde::Error::custom(\
+                         \"empty object for {enum_name}\")),\n\
+                 }};\n\
+                 match tag.as_str() {{\n{tagged}\n\
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                         format!(\"unknown {enum_name} variant `{{other}}`\"))),\n\
+                 }}\n\
+             }}\n\
+             other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"expected string or tagged object for {enum_name}, \
+                 found {{}}\", other.kind()))),\n\
+         }}",
+        units = unit_arms.join("\n"),
+        tagged = tagged_arms.join("\n"),
+    )
+}
+
+fn generate(input: &Input, dir: Direction) -> String {
+    let name = &input.name;
+    match dir {
+        Direction::Serialize => {
+            if let Some(into_ty) = &input.into_ty {
+                return format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                         fn to_value(&self) -> ::serde::Value {{\n\
+                             let bridge: {into_ty} = \
+                                 <{name} as ::std::clone::Clone>::clone(self).into();\n\
+                             ::serde::Serialize::to_value(&bridge)\n\
+                         }}\n\
+                     }}"
+                );
+            }
+            let body = match &input.shape {
+                Shape::NamedStruct(fields) => {
+                    let mut b = String::from("let mut m = ::serde::Map::new();\n");
+                    for f in fields {
+                        b.push_str(&format!(
+                            "m.insert(::std::string::String::from({f:?}), \
+                             ::serde::Serialize::to_value(&self.{f}));\n"
+                        ));
+                    }
+                    b.push_str("::serde::Value::Object(m)");
+                    b
+                }
+                Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::TupleStruct(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Shape::UnitStruct => "::serde::Value::Null".to_string(),
+                Shape::Enum(variants) => {
+                    let arms: Vec<String> = variants
+                        .iter()
+                        .map(|v| serialize_variant_arm(name, v))
+                        .collect();
+                    format!("match self {{\n{}\n}}", arms.join("\n"))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Direction::Deserialize => {
+            if let Some(from_ty) = &input.from_ty {
+                return format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                         fn from_value(v: &::serde::Value) \
+                             -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                             let bridge: {from_ty} = ::serde::Deserialize::from_value(v)?;\n\
+                             ::std::result::Result::Ok(\
+                                 <{name} as ::std::convert::From<{from_ty}>>::from(bridge))\n\
+                         }}\n\
+                     }}"
+                );
+            }
+            let body = match &input.shape {
+                Shape::NamedStruct(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::from_field(obj, {f:?})?,"))
+                        .collect();
+                    format!(
+                        "match v {{\n\
+                             ::serde::Value::Object(obj) => \
+                                 ::std::result::Result::Ok({name} {{\n{}\n}}),\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"expected object for {name}, found {{}}\", \
+                                 other.kind()))),\n\
+                         }}",
+                        inits.join("\n")
+                    )
+                }
+                Shape::TupleStruct(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Shape::TupleStruct(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                        .collect();
+                    format!(
+                        "match v {{\n\
+                             ::serde::Value::Array(items) if items.len() == {n} => \
+                                 ::std::result::Result::Ok({name}(\n{}\n)),\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"expected array of {n} for {name}, found {{}}\", \
+                                 other.kind()))),\n\
+                         }}",
+                        inits.join("\n")
+                    )
+                }
+                Shape::UnitStruct => {
+                    format!("::std::result::Result::Ok({name})")
+                }
+                Shape::Enum(variants) => deserialize_enum_body(name, variants),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+    }
+}
