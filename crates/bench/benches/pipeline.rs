@@ -54,7 +54,7 @@ fn bench_scoring(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(threads),
             &threads,
-            |b, &threads| b.iter(|| score_corpus(&clf, &docs, threads).len()),
+            |b, &threads| b.iter(|| score_corpus(&clf, &docs, threads).expect("scoring").len()),
         );
     }
     group.finish();
@@ -105,6 +105,7 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.bench_function("dox_quick", |b| {
         b.iter(|| {
             run_pipeline(&corpus, Task::Dox, &PipelineConfig::quick(1))
+                .expect("pipeline")
                 .counts
                 .true_positives
         })

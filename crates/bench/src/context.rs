@@ -93,7 +93,7 @@ impl ReproContext {
     pub fn cth(&mut self) -> &PipelineOutcome {
         if self.cth.is_none() {
             let config = self.scale.pipeline_config(self.seed);
-            self.cth = Some(run_pipeline(&self.corpus, Task::Cth, &config));
+            self.cth = Some(run_pipeline(&self.corpus, Task::Cth, &config).expect("CTH pipeline"));
         }
         self.cth.as_ref().unwrap()
     }
@@ -102,7 +102,7 @@ impl ReproContext {
     pub fn dox(&mut self) -> &PipelineOutcome {
         if self.dox.is_none() {
             let config = self.scale.pipeline_config(self.seed);
-            self.dox = Some(run_pipeline(&self.corpus, Task::Dox, &config));
+            self.dox = Some(run_pipeline(&self.corpus, Task::Dox, &config).expect("dox pipeline"));
         }
         self.dox.as_ref().unwrap()
     }

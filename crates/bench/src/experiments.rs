@@ -49,6 +49,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "Quality ablations for DESIGN.md \u{a7}5 design choices",
     ),
     (
+        "score_throughput",
+        "Featurize-once engine vs naive per-pass scoring (BENCH line)",
+    ),
+    (
         "extension_attack_types",
         "\u{a7}9.2 extension: per-attack-type classifiers",
     ),
@@ -85,6 +89,7 @@ pub fn run_experiment(id: &str, ctx: &mut ReproContext) -> Option<String> {
         "sec7_3" => sec7_3(ctx),
         "sec7_4" => sec7_4(ctx),
         "ablations" => crate::ablations::run(ctx),
+        "score_throughput" => crate::throughput::run(ctx),
         "extension_attack_types" => extension_attack_types(ctx),
         "extension_longitudinal" => extension_longitudinal(ctx),
         _ => return None,

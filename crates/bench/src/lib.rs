@@ -12,6 +12,7 @@
 pub mod ablations;
 pub mod context;
 pub mod experiments;
+pub mod throughput;
 
 pub use context::{ReproContext, Scale};
 pub use experiments::{run_experiment, EXPERIMENTS};

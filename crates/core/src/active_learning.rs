@@ -10,7 +10,7 @@
 use crate::task::Task;
 use incite_annotate::{annotate_batch, Annotator};
 use incite_corpus::{Corpus, DocId, Document};
-use incite_ml::TextClassifier;
+use incite_ml::{FeatureCache, TextClassifier};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use std::collections::HashSet;
@@ -54,11 +54,15 @@ pub fn decile_sample(
 
 /// Runs one active-learning round: score → decile-sample → crowd-annotate →
 /// extend training set → retrain.
+///
+/// Retraining goes through `cache`: only the documents added this round
+/// are featurized; everything already in the training set is reused.
 #[allow(clippy::too_many_arguments)]
 pub fn active_learning_round(
     corpus: &Corpus,
     task: Task,
     classifier: &mut TextClassifier,
+    cache: &mut FeatureCache,
     training: &mut Vec<(DocId, String, bool)>,
     scores: &[(DocId, f32)],
     per_decile: usize,
@@ -89,12 +93,13 @@ pub fn active_learning_round(
         training.push((doc.id, doc.text.clone(), label));
     }
 
-    classifier.retrain(
+    let data = cache.dataset(
+        classifier.featurizer(),
         training
             .iter()
-            .map(|(_, text, label)| (text.as_str(), *label)),
-        train_config,
+            .map(|(id, text, label)| (id.0, text.as_str(), *label)),
     );
+    classifier.retrain_features(&data, train_config);
 
     RoundStats {
         sampled: sampled_docs.len(),

@@ -1,0 +1,111 @@
+//! The featurize-once scoring engine.
+//!
+//! `run_pipeline` applies the classifier to every applicable document once
+//! per active-learning round and once more for final prediction — at paper
+//! scale, 560 M documents scored `al_rounds + 1` times. Tokenization
+//! dominates that cost, yet the fitted featurizer never changes across
+//! retrains; only the weight vector does. The engine therefore featurizes
+//! the corpus exactly once into a CSR [`FeatureMatrix`] (built in parallel
+//! on the panic-free executor) and serves every subsequent pass as sparse
+//! dot products against the current model:
+//! `O(passes × tokenize)` → `O(1 × tokenize + passes × spmv)`.
+//!
+//! Determinism contract: featurization is a pure per-document function and
+//! every scoring pass writes slot `i` from row `i` alone, so scores are
+//! byte-identical across thread counts (see [`crate::parallel`]).
+
+use crate::parallel::{map_indexed, ScoreError};
+use incite_corpus::{DocId, Document};
+use incite_ml::batch::FeatureMatrix;
+use incite_ml::{Featurizer, LogisticRegression, TextClassifier};
+
+/// Instrumentation for the featurize-once invariant and the BENCH report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Documents held in the feature arena.
+    pub documents: usize,
+    /// Non-zeros in the CSR arena.
+    pub nnz: usize,
+    /// Full-corpus featurization passes performed (the invariant: 1).
+    pub featurize_passes: usize,
+    /// Full-corpus scoring passes served from the arena.
+    pub score_passes: usize,
+}
+
+/// A corpus featurized once, scorable many times.
+#[derive(Debug, Clone)]
+pub struct ScoringEngine {
+    ids: Vec<DocId>,
+    matrix: FeatureMatrix,
+    stats: EngineStats,
+}
+
+impl ScoringEngine {
+    /// Featurizes `docs` (in order, in parallel) into the CSR arena. This
+    /// is the single `O(corpus × tokenize)` step; every later
+    /// [`Self::score_all`] is an spmv pass.
+    pub fn build(
+        featurizer: &Featurizer,
+        docs: &[&Document],
+        threads: usize,
+    ) -> Result<Self, ScoreError> {
+        let rows = map_indexed(docs.len(), threads, |i| featurizer.features(&docs[i].text))?;
+        let matrix = FeatureMatrix::from_rows(featurizer.dimensions(), rows.iter());
+        let stats = EngineStats {
+            documents: matrix.len(),
+            nnz: matrix.nnz(),
+            featurize_passes: 1,
+            score_passes: 0,
+        };
+        Ok(ScoringEngine {
+            ids: docs.iter().map(|d| d.id).collect(),
+            matrix,
+            stats,
+        })
+    }
+
+    /// Scores every cached document against the *current* model — one
+    /// parallel sparse-matrix × dense-vector pass, no tokenization. Results
+    /// are bit-identical to `classifier.score(&doc.text)` per document and
+    /// byte-identical across thread counts.
+    pub fn score_all(
+        &mut self,
+        model: &LogisticRegression,
+        threads: usize,
+    ) -> Result<Vec<(DocId, f32)>, ScoreError> {
+        let scores = map_indexed(self.matrix.len(), threads, |i| {
+            self.matrix.score_row(model, i)
+        })?;
+        self.stats.score_passes += 1;
+        Ok(self.ids.iter().copied().zip(scores).collect())
+    }
+
+    /// Number of cached documents.
+    pub fn len(&self) -> usize {
+        self.matrix.len()
+    }
+
+    /// Whether the engine holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.matrix.is_empty()
+    }
+
+    /// Featurize/score pass counters and arena size.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+}
+
+/// Scores `docs` with `classifier` on `threads` workers.
+///
+/// One-shot convenience over [`ScoringEngine`]: featurizes once, scores
+/// once. Callers that score the same documents repeatedly should hold an
+/// engine instead and pay featurization a single time.
+pub fn score_corpus(
+    classifier: &TextClassifier,
+    docs: &[&Document],
+    threads: usize,
+) -> Result<Vec<(DocId, f32)>, ScoreError> {
+    let mut engine = ScoringEngine::build(classifier.featurizer(), docs, threads)?;
+    engine.score_all(classifier.model(), threads)
+}

@@ -17,8 +17,11 @@
 //!    deciles, crowd annotators label them (two + tie-break), and the
 //!    classifier retrains; repeated for a configurable number of rounds
 //!    (§5.3: "we then repeated this process twice per data set").
-//! 4. **Full prediction** — the final classifier scores every document
-//!    (parallelized with crossbeam).
+//! 4. **Full prediction** — the final classifier scores every document.
+//!    All full-corpus passes (each round plus the final one) are served by
+//!    the featurize-once [`engine::ScoringEngine`]: the corpus is tokenized
+//!    a single time into a CSR arena and every pass is a parallel sparse
+//!    dot-product sweep on the panic-free [`parallel`] executor.
 //! 5. **Threshold selection** ([`threshold`]) — the §5.5 precision-driven
 //!    per-platform search.
 //! 6. **Final expert annotation** — documents above each platform's
@@ -33,12 +36,16 @@ pub mod accounting;
 pub mod active_learning;
 pub mod attack_classifier;
 pub mod bootstrap;
+pub mod engine;
+pub mod parallel;
 pub mod pipeline;
 pub mod query;
 pub mod task;
 pub mod threshold;
 
 pub use attack_classifier::AttackTypeClassifier;
+pub use engine::{score_corpus, EngineStats, ScoringEngine};
+pub use parallel::ScoreError;
 pub use pipeline::{run_pipeline, PipelineConfig, PipelineOutcome};
 pub use query::Query;
 pub use task::Task;

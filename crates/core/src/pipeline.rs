@@ -1,19 +1,29 @@
 //! End-to-end pipeline orchestration (Figure 1).
+//!
+//! The scoring hot path is *featurize-once*: every applicable document is
+//! tokenized exactly one time into the [`ScoringEngine`]'s CSR arena, and
+//! each of the `al_rounds + 1` full-corpus passes is a parallel spmv
+//! against the current weight vector (see [`crate::engine`]). Training-set
+//! features are likewise cached across every retrain.
 
 use crate::accounting::StageCounts;
 use crate::active_learning::{active_learning_round, RoundStats};
 use crate::bootstrap::bootstrap;
+use crate::engine::{EngineStats, ScoringEngine};
+use crate::parallel::ScoreError;
 use crate::task::Task;
 use crate::threshold::{select_threshold, PlatformThreshold, ThresholdConfig};
 use incite_annotate::Annotator;
 use incite_corpus::{Corpus, DocId, Document};
 use incite_ml::model::EvalReport;
-use incite_ml::{FeatureMode, FeaturizerConfig, TextClassifier, TrainConfig};
+use incite_ml::{FeatureCache, FeatureMode, FeaturizerConfig, TextClassifier, TrainConfig};
 use incite_taxonomy::Platform;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::HashMap;
+
+pub use crate::engine::score_corpus;
 
 /// Pipeline parameters.
 #[derive(Debug, Clone)]
@@ -96,6 +106,10 @@ pub struct PipelineOutcome {
     /// Full classifier scores for every applicable document (consumed by
     /// the thread-overlap analysis, §6.3).
     pub scores: Vec<(DocId, f32)>,
+    /// Scoring-engine instrumentation: the featurize-once invariant
+    /// (`engine.featurize_passes == 1`) and the number of spmv passes
+    /// served from the arena (`al_rounds + 1`).
+    pub engine: EngineStats,
 }
 
 impl PipelineOutcome {
@@ -124,43 +138,15 @@ impl PipelineOutcome {
     }
 }
 
-/// Scores documents in parallel using crossbeam scoped threads.
-pub fn score_corpus(
-    classifier: &TextClassifier,
-    docs: &[&Document],
-    threads: usize,
-) -> Vec<(DocId, f32)> {
-    let threads = threads.max(1);
-    if docs.len() < 256 || threads == 1 {
-        return docs
-            .iter()
-            .map(|d| (d.id, classifier.score(&d.text)))
-            .collect();
-    }
-    let chunk = docs.len().div_ceil(threads);
-    let mut results: Vec<Vec<(DocId, f32)>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = docs
-            .chunks(chunk)
-            .map(|slice| {
-                scope.spawn(move |_| {
-                    slice
-                        .iter()
-                        .map(|d| (d.id, classifier.score(&d.text)))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("scoring thread panicked"));
-        }
-    })
-    .expect("crossbeam scope");
-    results.into_iter().flatten().collect()
-}
-
 /// Runs one task's full pipeline over a corpus.
-pub fn run_pipeline(corpus: &Corpus, task: Task, config: &PipelineConfig) -> PipelineOutcome {
+///
+/// The only error source is a scoring-worker panic, surfaced as a typed
+/// [`ScoreError`] instead of aborting the process.
+pub fn run_pipeline(
+    corpus: &Corpus,
+    task: Task,
+    config: &PipelineConfig,
+) -> Result<PipelineOutcome, ScoreError> {
     let mut rng = StdRng::seed_from_u64(config.seed ^ task.slug().len() as u64);
     let expert = Annotator::expert("expert");
     let crowd_a = match task {
@@ -194,7 +180,8 @@ pub fn run_pipeline(corpus: &Corpus, task: Task, config: &PipelineConfig) -> Pip
         .map(|s| (s.id, s.text.clone(), s.label))
         .collect();
 
-    // Stage 2: initial classifier.
+    // Stage 2: initial classifier. Every training text is featurized once,
+    // into the cache, and reused by every retrain below.
     let featurizer_config = FeaturizerConfig {
         max_len: task.text_length(),
         mode: config.feature_mode,
@@ -202,20 +189,27 @@ pub fn run_pipeline(corpus: &Corpus, task: Task, config: &PipelineConfig) -> Pip
         seed: config.seed,
         ..Default::default()
     };
-    let mut classifier = TextClassifier::train(
-        training.iter().map(|(_, t, l)| (t.as_str(), *l)),
+    let mut cache = FeatureCache::new();
+    let mut classifier = TextClassifier::train_with_cache(
+        training.iter().map(|(id, t, l)| (id.0, t.as_str(), *l)),
         featurizer_config,
         config.train,
+        &mut cache,
     );
+
+    // The featurize-once arena: the applicable corpus is tokenized exactly
+    // one time here; all al_rounds + 1 scoring passes below are spmv.
+    let mut engine = ScoringEngine::build(classifier.featurizer(), &applicable, config.threads)?;
 
     // Stage 3: active-learning rounds.
     let mut rounds = Vec::new();
     for _ in 0..config.al_rounds {
-        let scores = score_corpus(&classifier, &applicable, config.threads);
+        let scores = engine.score_all(classifier.model(), config.threads)?;
         let stats = active_learning_round(
             corpus,
             task,
             &mut classifier,
+            &mut cache,
             &mut training,
             &scores,
             config.per_decile,
@@ -229,23 +223,30 @@ pub fn run_pipeline(corpus: &Corpus, task: Task, config: &PipelineConfig) -> Pip
     counts.training_annotations = training.len() as u64;
 
     // Stage 4: held-out evaluation (Table 3), then final full training.
+    // All features come from the cache — no re-tokenization.
     let mut shuffled = training.clone();
     shuffled.shuffle(&mut rng);
     let eval_n = ((shuffled.len() as f64) * config.eval_fraction).round() as usize;
     let (eval_split, train_split) = shuffled.split_at(eval_n.min(shuffled.len()));
+    let eval_train_data = cache.dataset(
+        classifier.featurizer(),
+        train_split.iter().map(|(id, t, l)| (id.0, t.as_str(), *l)),
+    );
+    let eval_data = cache.dataset(
+        classifier.featurizer(),
+        eval_split.iter().map(|(id, t, l)| (id.0, t.as_str(), *l)),
+    );
     let mut eval_model = classifier.clone();
-    eval_model.retrain(
-        train_split.iter().map(|(_, t, l)| (t.as_str(), *l)),
-        config.train,
+    eval_model.retrain_features(&eval_train_data, config.train);
+    let eval = eval_model.evaluate_features(&eval_data, 0.5);
+    let full_data = cache.dataset(
+        classifier.featurizer(),
+        training.iter().map(|(id, t, l)| (id.0, t.as_str(), *l)),
     );
-    let eval = eval_model.evaluate(eval_split.iter().map(|(_, t, l)| (t.as_str(), *l)), 0.5);
-    classifier.retrain(
-        training.iter().map(|(_, t, l)| (t.as_str(), *l)),
-        config.train,
-    );
+    classifier.retrain_features(&full_data, config.train);
 
-    // Stage 5: full prediction.
-    let scores = score_corpus(&classifier, &applicable, config.threads);
+    // Stage 5: full prediction — one more spmv pass over the arena.
+    let scores = engine.score_all(classifier.model(), config.threads)?;
     counts.predicted_documents = scores.len() as u64;
 
     // Stage 6: per-platform thresholds + final expert pass.
@@ -288,7 +289,7 @@ pub fn run_pipeline(corpus: &Corpus, task: Task, config: &PipelineConfig) -> Pip
         }
     }
 
-    PipelineOutcome {
+    Ok(PipelineOutcome {
         task,
         counts,
         rounds,
@@ -296,7 +297,8 @@ pub fn run_pipeline(corpus: &Corpus, task: Task, config: &PipelineConfig) -> Pip
         eval,
         training_by_platform,
         scores,
-    }
+        engine: engine.stats(),
+    })
 }
 
 #[cfg(test)]
@@ -308,10 +310,14 @@ mod tests {
         generate(&CorpusConfig::tiny(404))
     }
 
+    fn run(corpus: &Corpus, task: Task, config: &PipelineConfig) -> PipelineOutcome {
+        run_pipeline(corpus, task, config).expect("pipeline scoring")
+    }
+
     #[test]
     fn dox_pipeline_end_to_end() {
         let corpus = corpus();
-        let out = run_pipeline(&corpus, Task::Dox, &PipelineConfig::quick(1));
+        let out = run(&corpus, Task::Dox, &PipelineConfig::quick(1));
         assert!(out.counts.raw_documents > 0);
         assert!(out.counts.seed_annotations > 0);
         assert!(out.counts.true_positives > 0, "pipeline found no doxes");
@@ -328,7 +334,7 @@ mod tests {
     #[test]
     fn cth_pipeline_end_to_end() {
         let corpus = corpus();
-        let out = run_pipeline(&corpus, Task::Cth, &PipelineConfig::quick(2));
+        let out = run(&corpus, Task::Cth, &PipelineConfig::quick(2));
         assert!(out.counts.true_positives > 0, "pipeline found no CTH");
         // Pastes/blogs excluded.
         assert!(out
@@ -345,7 +351,7 @@ mod tests {
     #[test]
     fn pipeline_recovers_most_planted_positives() {
         let corpus = corpus();
-        let out = run_pipeline(&corpus, Task::Dox, &PipelineConfig::quick(3));
+        let out = run(&corpus, Task::Dox, &PipelineConfig::quick(3));
         let positive_ids = out.annotated_positive_ids();
         let truth_ids: std::collections::HashSet<DocId> = corpus
             .documents
@@ -364,12 +370,22 @@ mod tests {
     #[test]
     fn outcome_id_sets_are_consistent() {
         let corpus = corpus();
-        let out = run_pipeline(&corpus, Task::Dox, &PipelineConfig::quick(4));
+        let out = run(&corpus, Task::Dox, &PipelineConfig::quick(4));
         let above: std::collections::HashSet<DocId> =
             out.above_threshold_ids().into_iter().collect();
         for id in out.annotated_positive_ids() {
             assert!(above.contains(&id), "positive not above threshold");
         }
+    }
+
+    #[test]
+    fn corpus_is_featurized_exactly_once() {
+        let corpus = corpus();
+        let config = PipelineConfig::quick(6);
+        let out = run(&corpus, Task::Dox, &config);
+        assert_eq!(out.engine.featurize_passes, 1);
+        assert_eq!(out.engine.score_passes, config.al_rounds + 1);
+        assert_eq!(out.engine.documents as u64, out.counts.raw_documents);
     }
 
     #[test]
@@ -389,12 +405,8 @@ mod tests {
             },
             TrainConfig::default(),
         );
-        let serial = score_corpus(&clf, &docs, 1);
-        let parallel = score_corpus(&clf, &docs, 4);
-        let mut s = serial.clone();
-        let mut p = parallel.clone();
-        s.sort_by_key(|(id, _)| *id);
-        p.sort_by_key(|(id, _)| *id);
-        assert_eq!(s, p);
+        let serial = score_corpus(&clf, &docs, 1).expect("serial");
+        let parallel = score_corpus(&clf, &docs, 4).expect("parallel");
+        assert_eq!(serial, parallel);
     }
 }

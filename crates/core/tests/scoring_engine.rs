@@ -1,0 +1,95 @@
+//! Integration tests for the featurize-once scoring engine: the
+//! determinism contract across thread counts, panic containment, and
+//! cache coherence across retrains.
+
+use incite_core::parallel::{map_indexed, ScoreError};
+use incite_core::{score_corpus, ScoringEngine, Task};
+use incite_corpus::{generate, CorpusConfig, Document};
+use incite_ml::{FeaturizerConfig, TextClassifier, TrainConfig};
+
+/// An odd-sized document slice (not a multiple of the executor's block
+/// size) so the tail block is exercised.
+fn corpus_slice(corpus: &incite_corpus::Corpus, n: usize) -> Vec<&Document> {
+    let docs: Vec<&Document> = corpus.documents.iter().take(n).collect();
+    assert_eq!(docs.len(), n, "corpus smaller than requested slice");
+    docs
+}
+
+fn trained_classifier(docs: &[&Document]) -> TextClassifier {
+    let labeled: Vec<(&str, bool)> = docs
+        .iter()
+        .take(600)
+        .map(|d| (d.text.as_str(), Task::Dox.truth(d)))
+        .collect();
+    TextClassifier::train(labeled, FeaturizerConfig::default(), TrainConfig::default())
+}
+
+#[test]
+fn scores_are_byte_identical_across_thread_counts() {
+    let corpus = generate(&CorpusConfig::tiny(11));
+    let docs = corpus_slice(&corpus, 1013);
+    let classifier = trained_classifier(&docs);
+
+    let reference = score_corpus(&classifier, &docs, 1).expect("serial scoring");
+    for threads in [2usize, 3, 8] {
+        let parallel = score_corpus(&classifier, &docs, threads).expect("parallel scoring");
+        assert_eq!(reference.len(), parallel.len());
+        for ((id_a, score_a), (id_b, score_b)) in reference.iter().zip(&parallel) {
+            assert_eq!(id_a, id_b, "document order must be preserved");
+            assert_eq!(
+                score_a.to_bits(),
+                score_b.to_bits(),
+                "score for {id_a:?} differs at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn worker_panic_surfaces_as_score_error() {
+    // A panic deep inside one parallel task must come back as a typed
+    // error, not abort the process or poison the other workers.
+    let result: Result<Vec<usize>, ScoreError> = map_indexed(1000, 4, |i| {
+        if i == 617 {
+            panic!("injected failure at {i}");
+        }
+        i
+    });
+    let err = result.expect_err("the injected panic must surface");
+    let ScoreError::WorkerPanic(message) = err;
+    assert!(
+        message.contains("injected failure"),
+        "panic payload must be preserved, got: {message}"
+    );
+}
+
+#[test]
+fn cached_scores_track_retrained_model() {
+    let corpus = generate(&CorpusConfig::tiny(12));
+    let docs = corpus_slice(&corpus, 700);
+    let mut classifier = trained_classifier(&docs);
+
+    let mut engine = ScoringEngine::build(classifier.featurizer(), &docs, 2).expect("build");
+
+    // Retrain with flipped labels: the arena must keep serving scores that
+    // match fresh per-document scoring of the *new* model.
+    let flipped: Vec<(&str, bool)> = docs
+        .iter()
+        .take(600)
+        .map(|d| (d.text.as_str(), !Task::Dox.truth(d)))
+        .collect();
+    classifier.retrain(flipped, TrainConfig::default());
+
+    let cached = engine.score_all(classifier.model(), 2).expect("score");
+    assert_eq!(cached.len(), docs.len());
+    for (doc, (id, score)) in docs.iter().zip(&cached) {
+        assert_eq!(doc.id, *id);
+        assert_eq!(
+            score.to_bits(),
+            classifier.score(&doc.text).to_bits(),
+            "cached score for {id:?} diverged from fresh scoring after retrain"
+        );
+    }
+    assert_eq!(engine.stats().featurize_passes, 1);
+    assert_eq!(engine.stats().score_passes, 1);
+}

@@ -1,0 +1,297 @@
+//! Featurize-once batch scoring: CSR feature storage and feature caching.
+//!
+//! The pipeline applies the classifier to the *entire* corpus once per
+//! active-learning round and again for final prediction (Figure 1). The
+//! featurizer is fitted once and never changes across retrains, so
+//! re-tokenizing every document on every pass is pure waste: featurize the
+//! corpus exactly once into a compact CSR arena ([`FeatureMatrix`]) and
+//! serve every subsequent pass as sparse dot products against the current
+//! weight vector.
+//!
+//! Two building blocks live here:
+//!
+//! * [`FeatureMatrix`] — a CSR-style arena: one flat `indices` buffer, one
+//!   flat `values` buffer, and row offsets. No per-row allocation, cache
+//!   friendly row iteration, and rows score bit-identically to
+//!   [`LogisticRegression::predict_proba`](crate::LogisticRegression::predict_proba)
+//!   on the equivalent [`SparseVec`].
+//! * [`FeatureCache`] — a keyed memo of featurized documents, used to
+//!   featurize the growing training set once across the eval/final
+//!   retrains instead of re-running WordPiece tokenization per retrain.
+
+use crate::data::Dataset;
+use crate::featurize::Featurizer;
+use crate::logreg::LogisticRegression;
+use crate::sparse::SparseVec;
+use std::collections::HashMap;
+
+/// A compact CSR (compressed sparse row) matrix of featurized documents.
+///
+/// Row `i` occupies `indices[offsets[i]..offsets[i + 1]]` and the parallel
+/// `values` range. Indices within a row are strictly increasing (inherited
+/// from the [`SparseVec`] invariant).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FeatureMatrix {
+    indices: Vec<u32>,
+    values: Vec<f32>,
+    /// `rows + 1` offsets into `indices` / `values`.
+    offsets: Vec<usize>,
+    dimensions: usize,
+}
+
+impl FeatureMatrix {
+    /// An empty matrix over a feature space of `dimensions` slots.
+    pub fn new(dimensions: usize) -> Self {
+        FeatureMatrix {
+            indices: Vec::new(),
+            values: Vec::new(),
+            offsets: vec![0],
+            dimensions,
+        }
+    }
+
+    /// An empty matrix with room for `rows` rows of ~`nnz_per_row` entries.
+    pub fn with_capacity(dimensions: usize, rows: usize, nnz_per_row: usize) -> Self {
+        let mut m = FeatureMatrix::new(dimensions);
+        m.offsets.reserve(rows);
+        m.indices.reserve(rows * nnz_per_row);
+        m.values.reserve(rows * nnz_per_row);
+        m
+    }
+
+    /// Builds a matrix from featurized rows, preserving order.
+    pub fn from_rows<'a, I>(dimensions: usize, rows: I) -> Self
+    where
+        I: IntoIterator<Item = &'a SparseVec>,
+    {
+        let mut m = FeatureMatrix::new(dimensions);
+        for row in rows {
+            m.push_row(row);
+        }
+        m
+    }
+
+    /// Appends one row.
+    pub fn push_row(&mut self, row: &SparseVec) {
+        for &(i, v) in row {
+            self.indices.push(i);
+            self.values.push(v);
+        }
+        self.offsets.push(self.indices.len());
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Feature-space dimensionality.
+    pub fn dimensions(&self) -> usize {
+        self.dimensions
+    }
+
+    /// Row `i` as parallel `(indices, values)` slices. Rows out of range
+    /// are empty.
+    pub fn row(&self, i: usize) -> (&[u32], &[f32]) {
+        match (self.offsets.get(i), self.offsets.get(i + 1)) {
+            (Some(&start), Some(&end)) => (&self.indices[start..end], &self.values[start..end]),
+            _ => (&[], &[]),
+        }
+    }
+
+    /// Positive-class probability for row `i` under `model` — one sparse
+    /// dot product, no featurization.
+    pub fn score_row(&self, model: &LogisticRegression, i: usize) -> f32 {
+        let (indices, values) = self.row(i);
+        model.predict_proba_row(indices, values)
+    }
+
+    /// Scores every row serially, in order.
+    pub fn score_all(&self, model: &LogisticRegression) -> Vec<f32> {
+        (0..self.len()).map(|i| self.score_row(model, i)).collect()
+    }
+}
+
+/// A keyed cache of featurized documents.
+///
+/// The pipeline's training set only ever grows (bootstrap seeds, then
+/// crowd-labeled documents per round), while the fitted featurizer never
+/// changes — so each text needs featurizing exactly once even though the
+/// model retrains after every round plus twice more for the Table 3
+/// evaluation. Keys are caller-chosen (the pipeline uses document ids).
+#[derive(Debug, Clone, Default)]
+pub struct FeatureCache {
+    map: HashMap<u64, SparseVec>,
+    fresh: usize,
+    hits: usize,
+}
+
+impl FeatureCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        FeatureCache::default()
+    }
+
+    /// The features for `(key, text)`, featurizing on first sight only.
+    pub fn features(&mut self, featurizer: &Featurizer, key: u64, text: &str) -> &SparseVec {
+        match self.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.hits += 1;
+                e.into_mut()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.fresh += 1;
+                e.insert(featurizer.features(text))
+            }
+        }
+    }
+
+    /// Assembles a labeled [`Dataset`] for the given `(key, text, label)`
+    /// triples, featurizing only texts not yet cached.
+    pub fn dataset<'a, I>(&mut self, featurizer: &Featurizer, items: I) -> Dataset
+    where
+        I: IntoIterator<Item = (u64, &'a str, bool)>,
+    {
+        let mut data = Dataset::new();
+        for (key, text, label) in items {
+            let features = self.features(featurizer, key, text).clone();
+            data.push(features, label);
+        }
+        data
+    }
+
+    /// Number of cached documents.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// How many texts were actually featurized (cache misses).
+    pub fn fresh_featurizations(&self) -> usize {
+        self.fresh
+    }
+
+    /// How many lookups were served from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::featurize::{FeatureMode, FeaturizerConfig};
+    use crate::logreg::TrainConfig;
+
+    fn featurizer() -> Featurizer {
+        Featurizer::fit(
+            FeaturizerConfig {
+                mode: FeatureMode::Word,
+                hash_bits: 12,
+                ..Default::default()
+            },
+            ["report him", "flag her account", "nice weather today"],
+        )
+    }
+
+    fn model(dimensions: usize) -> LogisticRegression {
+        let mut data = Dataset::new();
+        for i in 0..50 {
+            data.push(vec![(0, 1.0), ((i % 5 + 2) as u32, 0.5)], true);
+            data.push(vec![(1, 1.0), ((i % 5 + 2) as u32, 0.5)], false);
+        }
+        LogisticRegression::train(&data, dimensions, TrainConfig::default())
+    }
+
+    #[test]
+    fn matrix_round_trips_rows() {
+        let rows: Vec<SparseVec> = vec![
+            vec![(0, 1.0), (5, 2.0)],
+            vec![],
+            vec![(3, -1.0)],
+            vec![(1, 0.25), (2, 0.5), (9, 4.0)],
+        ];
+        let m = FeatureMatrix::from_rows(16, rows.iter());
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.nnz(), 6);
+        for (i, row) in rows.iter().enumerate() {
+            let (indices, values) = m.row(i);
+            let rebuilt: SparseVec = indices
+                .iter()
+                .copied()
+                .zip(values.iter().copied())
+                .collect();
+            assert_eq!(&rebuilt, row);
+        }
+    }
+
+    #[test]
+    fn out_of_range_row_is_empty() {
+        let m = FeatureMatrix::new(8);
+        assert_eq!(m.row(3), (&[][..], &[][..]));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn row_scores_match_sparse_scores() {
+        let rows: Vec<SparseVec> = vec![
+            vec![(0, 1.0)],
+            vec![(1, 1.0)],
+            vec![(0, 0.5), (1, 0.5), (3, 2.0)],
+            vec![],
+        ];
+        let m = FeatureMatrix::from_rows(16, rows.iter());
+        let model = model(16);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(m.score_row(&model, i), model.predict_proba(row), "row {i}");
+        }
+        assert_eq!(m.score_all(&model).len(), rows.len());
+    }
+
+    #[test]
+    fn cache_featurizes_each_key_once() {
+        let f = featurizer();
+        let mut cache = FeatureCache::new();
+        let first = cache.features(&f, 1, "report him").clone();
+        let second = cache.features(&f, 1, "report him").clone();
+        assert_eq!(first, second);
+        assert_eq!(cache.fresh_featurizations(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cached_dataset_matches_direct_featurization() {
+        let f = featurizer();
+        let mut cache = FeatureCache::new();
+        let items = [(1u64, "report him", true), (2u64, "nice weather", false)];
+        let data = cache.dataset(&f, items.iter().map(|(k, t, l)| (*k, *t, *l)));
+        assert_eq!(data.len(), 2);
+        assert_eq!(data.examples[0].features, f.features("report him"));
+        assert_eq!(data.examples[1].features, f.features("nice weather"));
+        // A second assembly of a superset featurizes only the new text.
+        let more = [
+            (1u64, "report him", true),
+            (2u64, "nice weather", false),
+            (3u64, "flag her account", true),
+        ];
+        let data2 = cache.dataset(&f, more.iter().map(|(k, t, l)| (*k, *t, *l)));
+        assert_eq!(data2.len(), 3);
+        assert_eq!(cache.fresh_featurizations(), 3);
+        assert_eq!(cache.hits(), 2);
+    }
+}

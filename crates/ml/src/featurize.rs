@@ -58,13 +58,26 @@ impl Default for FeaturizerConfig {
     }
 }
 
+/// The fitted token stream: the `Subword` variant *owns* its trained
+/// WordPiece encoder, so "subword mode without an encoder" is
+/// unrepresentable and the featurizer needs no runtime absence check.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+enum TokenStream {
+    /// Plain word unigrams + bigrams.
+    Word,
+    /// WordPiece subwords with the vocabulary trained at fit time.
+    Subword(WordPieceEncoder),
+    /// Character 3–5-grams.
+    Char,
+}
+
 /// A fitted featurizer. In `Subword` mode it owns a trained WordPiece
 /// encoder; `Word`/`Char` modes are stateless.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct Featurizer {
     config: FeaturizerConfig,
     hasher: FeatureHasher,
-    encoder: Option<WordPieceEncoder>,
+    stream: TokenStream,
 }
 
 impl Featurizer {
@@ -75,27 +88,29 @@ impl Featurizer {
         I: IntoIterator<Item = &'a str>,
     {
         let hasher = FeatureHasher::new(config.hash_bits);
-        let encoder = if config.mode == FeatureMode::Subword {
-            let trainer = WordPieceTrainer::new(config.vocab_size);
-            let mut words: Vec<String> = Vec::new();
-            for doc in corpus_sample {
-                let norm = normalize(doc);
-                for tok in tokenize(&norm) {
-                    if tok.kind != TokenKind::Punct {
-                        words.push(tok.text.to_string());
+        let stream = match config.mode {
+            FeatureMode::Word => TokenStream::Word,
+            FeatureMode::Char => TokenStream::Char,
+            FeatureMode::Subword => {
+                let trainer = WordPieceTrainer::new(config.vocab_size);
+                let mut words: Vec<String> = Vec::new();
+                for doc in corpus_sample {
+                    let norm = normalize(doc);
+                    for tok in tokenize(&norm) {
+                        if tok.kind != TokenKind::Punct {
+                            words.push(tok.text.to_string());
+                        }
                     }
                 }
+                TokenStream::Subword(WordPieceEncoder::new(
+                    trainer.train(words.iter().map(|s| s.as_str())),
+                ))
             }
-            Some(WordPieceEncoder::new(
-                trainer.train(words.iter().map(|s| s.as_str())),
-            ))
-        } else {
-            None
         };
         Featurizer {
             config,
             hasher,
-            encoder,
+            stream,
         }
     }
 
@@ -140,8 +155,8 @@ impl Featurizer {
 
     fn span_features(&self, span: &str) -> SparseVec {
         let mut grams: Vec<String> = Vec::new();
-        match self.config.mode {
-            FeatureMode::Word => {
+        match &self.stream {
+            TokenStream::Word => {
                 let words: Vec<String> = tokenize(span)
                     .into_iter()
                     .filter(|t| t.kind != TokenKind::Punct)
@@ -149,8 +164,7 @@ impl Featurizer {
                     .collect();
                 push_ngrams(&mut grams, &words);
             }
-            FeatureMode::Subword => {
-                let encoder = self.encoder.as_ref().expect("subword mode has encoder");
+            TokenStream::Subword(encoder) => {
                 let mut pieces: Vec<String> = Vec::new();
                 for tok in tokenize(span) {
                     if tok.kind == TokenKind::Punct {
@@ -162,7 +176,7 @@ impl Featurizer {
                 }
                 push_ngrams(&mut grams, &pieces);
             }
-            FeatureMode::Char => {
+            TokenStream::Char => {
                 for n in 3..=5 {
                     for g in char_ngrams(span, n) {
                         grams.push(format!("c{n}|{g}"));

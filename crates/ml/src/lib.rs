@@ -5,6 +5,10 @@
 //! the substitution argument). It provides:
 //!
 //! * [`sparse`] — sparse feature vectors and dense-weight operations.
+//! * [`batch`] — featurize-once batch scoring: the CSR [`batch::FeatureMatrix`]
+//!   arena and the keyed [`batch::FeatureCache`] that let the pipeline
+//!   tokenize each document exactly once across all scoring passes and
+//!   retrains.
 //! * [`featurize`] — the document → features pipeline: normalization, span
 //!   sampling (§5.2), tokenization, optional WordPiece subwords, n-grams and
 //!   feature hashing.
@@ -17,6 +21,7 @@
 //!   probability-out API the pipeline uses.
 //! * [`grid`] — hyperparameter grid search (the Table 3 text-length sweep).
 
+pub mod batch;
 pub mod data;
 pub mod featurize;
 pub mod grid;
@@ -26,6 +31,7 @@ pub mod naive_bayes;
 pub mod persist;
 pub mod sparse;
 
+pub use batch::{FeatureCache, FeatureMatrix};
 pub use data::{kfold, train_test_split, Dataset, Example};
 pub use featurize::{FeatureMode, Featurizer, FeaturizerConfig};
 pub use grid::{grid_search, GridPoint, GridResult};

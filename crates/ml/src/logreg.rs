@@ -95,6 +95,30 @@ impl LogisticRegression {
         sigmoid(dot(features, &self.weights) + self.bias)
     }
 
+    /// Positive-class probability for one CSR row (parallel `indices` /
+    /// `values` slices). Accumulates in exactly the order [`dot`] does, so
+    /// the result is bit-identical to
+    /// `predict_proba(&zip(indices, values).collect())`.
+    pub fn predict_proba_row(&self, indices: &[u32], values: &[f32]) -> f32 {
+        let mut sum = 0.0;
+        for (&i, &v) in indices.iter().zip(values) {
+            if let Some(w) = self.weights.get(i as usize) {
+                sum += v * w;
+            }
+        }
+        sigmoid(sum + self.bias)
+    }
+
+    /// The fitted weight vector.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// The fitted intercept.
+    pub fn bias(&self) -> f32 {
+        self.bias
+    }
+
     /// Hard prediction at threshold 0.5.
     pub fn predict(&self, features: &SparseVec) -> bool {
         self.predict_proba(features) > 0.5
@@ -192,6 +216,19 @@ mod tests {
         );
         let probe = vec![(0, 1.0)];
         assert!(high.predict_proba(&probe) > low.predict_proba(&probe));
+    }
+
+    #[test]
+    fn row_prediction_matches_sparse_prediction() {
+        let data = separable(40);
+        let model = LogisticRegression::train(&data, 16, TrainConfig::default());
+        let sparse: SparseVec = vec![(0, 1.0), (3, 0.5), (100, 2.0)];
+        let indices: Vec<u32> = sparse.iter().map(|(i, _)| *i).collect();
+        let values: Vec<f32> = sparse.iter().map(|(_, v)| *v).collect();
+        assert_eq!(
+            model.predict_proba(&sparse),
+            model.predict_proba_row(&indices, &values)
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! learning, and applies to the full corpus — the role the fine-tuned
 //! distilBERT plays in Figure 1.
 
+use crate::batch::{FeatureCache, FeatureMatrix};
 use crate::data::Dataset;
 use crate::featurize::{Featurizer, FeaturizerConfig};
 use crate::logreg::{LogisticRegression, TrainConfig};
@@ -58,6 +59,29 @@ impl TextClassifier {
         TextClassifier { featurizer, model }
     }
 
+    /// Trains like [`Self::train`], but produces every feature vector
+    /// through `cache` (keyed by the caller's ids) so that later
+    /// [`Self::retrain_features`] calls on a grown training set reuse them
+    /// instead of re-tokenizing. Each text is featurized exactly once for
+    /// the lifetime of the cache.
+    pub fn train_with_cache<'a, I>(
+        labeled: I,
+        featurizer_config: FeaturizerConfig,
+        train_config: TrainConfig,
+        cache: &mut FeatureCache,
+    ) -> Self
+    where
+        I: IntoIterator<Item = (u64, &'a str, bool)> + Clone,
+    {
+        let featurizer = Featurizer::fit(
+            featurizer_config,
+            labeled.clone().into_iter().map(|(_, text, _)| text),
+        );
+        let data = cache.dataset(&featurizer, labeled);
+        let model = LogisticRegression::train(&data, featurizer.dimensions(), train_config);
+        TextClassifier { featurizer, model }
+    }
+
     /// Retrains the linear model on new labels while keeping the fitted
     /// featurizer — one active-learning iteration (§5.3).
     pub fn retrain<'a, I>(&mut self, labeled: I, train_config: TrainConfig)
@@ -68,7 +92,14 @@ impl TextClassifier {
         for (text, label) in labeled {
             data.push(self.featurizer.features(text), label);
         }
-        self.model = LogisticRegression::train(&data, self.featurizer.dimensions(), train_config);
+        self.retrain_features(&data, train_config);
+    }
+
+    /// Retrains from already-featurized examples — the featurize-once path:
+    /// callers holding a [`crate::batch::FeatureCache`] featurize each text
+    /// once across arbitrarily many retrains.
+    pub fn retrain_features(&mut self, data: &Dataset, train_config: TrainConfig) {
+        self.model = LogisticRegression::train(data, self.featurizer.dimensions(), train_config);
     }
 
     /// Positive-class probability for a document.
@@ -76,9 +107,21 @@ impl TextClassifier {
         self.model.predict_proba(&self.featurizer.features(text))
     }
 
-    /// Scores a batch.
+    /// Scores a batch through the featurize-once path: each text is
+    /// featurized exactly once into a CSR [`FeatureMatrix`], then scored as
+    /// sparse dot products. Bit-identical to per-text [`Self::score`].
     pub fn score_batch<'a, I: IntoIterator<Item = &'a str>>(&self, texts: I) -> Vec<f32> {
-        texts.into_iter().map(|t| self.score(t)).collect()
+        self.features_matrix(texts).score_all(&self.model)
+    }
+
+    /// Featurizes a batch of texts (once each) into a CSR matrix whose row
+    /// order matches the input order.
+    pub fn features_matrix<'a, I: IntoIterator<Item = &'a str>>(&self, texts: I) -> FeatureMatrix {
+        let mut matrix = FeatureMatrix::new(self.featurizer.dimensions());
+        for text in texts {
+            matrix.push_row(&self.featurizer.features(text));
+        }
+        matrix
     }
 
     /// The fitted featurizer.
@@ -86,20 +129,37 @@ impl TextClassifier {
         &self.featurizer
     }
 
+    /// The trained linear model.
+    pub fn model(&self) -> &LogisticRegression {
+        &self.model
+    }
+
     /// Evaluates on held-out labeled documents at a decision threshold,
-    /// producing the Table 3 metric block plus AUC-ROC.
+    /// producing the Table 3 metric block plus AUC-ROC. Each text is
+    /// featurized exactly once (batch path).
     pub fn evaluate<'a, I>(&self, labeled: I, threshold: f32) -> EvalReport
     where
         I: IntoIterator<Item = (&'a str, bool)>,
     {
+        let mut data = Dataset::new();
+        for (text, label) in labeled {
+            data.push(self.featurizer.features(text), label);
+        }
+        self.evaluate_features(&data, threshold)
+    }
+
+    /// Evaluates already-featurized examples — the cached counterpart of
+    /// [`Self::evaluate`], used by the pipeline to reuse training-set
+    /// features across the eval/final retrains.
+    pub fn evaluate_features(&self, data: &Dataset, threshold: f32) -> EvalReport {
         let mut confusion = BinaryConfusion::default();
         let mut scores = Vec::new();
         let mut labels = Vec::new();
-        for (text, label) in labeled {
-            let score = self.score(text);
-            confusion.record(label, score > threshold);
+        for example in &data.examples {
+            let score = self.model.predict_proba(&example.features);
+            confusion.record(example.label, score > threshold);
             scores.push(score as f64);
-            labels.push(label);
+            labels.push(example.label);
         }
         EvalReport {
             metrics: confusion.table_metrics(),
@@ -197,5 +257,27 @@ mod tests {
         let batch = clf.score_batch(texts);
         assert_eq!(batch[0], clf.score("report him"));
         assert_eq!(batch[1], clf.score("nice weather"));
+    }
+
+    #[test]
+    fn cached_feature_paths_match_text_paths() {
+        let mut clf =
+            TextClassifier::train(labeled_corpus(), quick_config(), TrainConfig::default());
+        let mut data = Dataset::new();
+        for (text, label) in labeled_corpus() {
+            data.push(clf.featurizer().features(text), label);
+        }
+        // evaluate == evaluate_features on the same examples.
+        let by_text = clf.evaluate(labeled_corpus(), 0.5);
+        let by_features = clf.evaluate_features(&data, 0.5);
+        assert_eq!(by_text.confusion, by_features.confusion);
+        assert_eq!(by_text.auc, by_features.auc);
+        // retrain == retrain_features from the cached features.
+        let mut twin = clf.clone();
+        clf.retrain(labeled_corpus(), TrainConfig::default());
+        twin.retrain_features(&data, TrainConfig::default());
+        for (text, _) in labeled_corpus() {
+            assert_eq!(clf.score(text), twin.score(text));
+        }
     }
 }

@@ -5,6 +5,36 @@ use incite_regex::Regex;
 use incite_taxonomy::pii_kind::PiiSet;
 use incite_taxonomy::PiiKind;
 
+/// Failure to compile one of the extractor patterns.
+///
+/// Unreachable through [`PiiExtractor::new`] / [`PiiExtractor::try_new`]
+/// today (the builtin patterns are constants exercised by the test suite);
+/// the type exists so the fallible constructor can keep its contract if the
+/// pattern set ever becomes configurable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PiiError {
+    /// The pattern that failed to compile.
+    pub pattern: String,
+    /// The underlying compilation error.
+    pub source: incite_regex::Error,
+}
+
+impl std::fmt::Display for PiiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PII pattern `{}` failed to compile: {}",
+            self.pattern, self.source
+        )
+    }
+}
+
+impl std::error::Error for PiiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
 /// One extracted PII span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PiiMatch {
@@ -100,52 +130,67 @@ impl Default for PiiExtractor {
 }
 
 impl PiiExtractor {
-    /// Compiles all patterns. Panics only on programmer error (the patterns
-    /// are constants covered by tests).
+    /// Compiles the builtin patterns, infallibly: they are constants covered
+    /// by tests, so the only failure mode is programmer error. Callers that
+    /// want to decide for themselves should use [`Self::try_new`].
     pub fn new() -> Self {
-        let ci = |p: &str| Regex::case_insensitive(p).expect("builtin pattern compiles");
+        // The expect is unreachable: every builtin pattern is compile-tested
+        // by `builtin_patterns_compile`.
+        // incite-lint: allow(INC001)
+        Self::try_new().expect("builtin PII patterns compile")
+    }
+
+    /// Compiles all patterns, surfacing a compilation failure as a
+    /// [`PiiError`] instead of panicking.
+    pub fn try_new() -> Result<Self, PiiError> {
+        let ci = |p: &str| {
+            Regex::case_insensitive(p).map_err(|source| PiiError {
+                pattern: p.to_string(),
+                source,
+            })
+        };
         let extractor = PiiExtractor {
-            email: ci(r"\b[a-z0-9._%+-]+@[a-z0-9.-]+\.[a-z][a-z]+\b"),
+            email: ci(r"\b[a-z0-9._%+-]+@[a-z0-9.-]+\.[a-z][a-z]+\b")?,
             // US phone: optional +1/1 prefix, optional parens, common
             // separators. The 555-01XX fictional exchange also matches.
-            phone: ci(r"(\+?1[-. ])?\(?\d{3}\)?[-. ]\d{3}[-. ]?\d{4}\b"),
-            ssn: ci(r"\b\d{3}-\d{2}-\d{4}\b"),
+            phone: ci(r"(\+?1[-. ])?\(?\d{3}\)?[-. ]\d{3}[-. ]?\d{4}\b")?,
+            ssn: ci(r"\b\d{3}-\d{2}-\d{4}\b")?,
             // US street address: house number, street name words, suffix,
             // optionally a city/state/zip tail.
             address: ci(
                 r"\b\d{1,5} [a-z][a-z ]* (ave|avenue|st|street|rd|road|blvd|boulevard|ln|lane|dr|drive|ct|court|way)\b(, [a-z][a-z ]*, [a-z][a-z] \d{5})?",
-            ),
+            )?,
             cards: vec![
-                (ci(r"\b4\d{3}[- ]?\d{4}[- ]?\d{4}[- ]?\d{4}\b"), "visa"),
+                (ci(r"\b4\d{3}[- ]?\d{4}[- ]?\d{4}[- ]?\d{4}\b")?, "visa"),
                 (
-                    ci(r"\b5[1-5]\d{2}[- ]?\d{4}[- ]?\d{4}[- ]?\d{4}\b"),
+                    ci(r"\b5[1-5]\d{2}[- ]?\d{4}[- ]?\d{4}[- ]?\d{4}\b")?,
                     "mastercard",
                 ),
-                (ci(r"\b3[47]\d{2}[- ]?\d{6}[- ]?\d{5}\b"), "amex"),
-                (ci(r"\b6011[- ]?\d{4}[- ]?\d{4}[- ]?\d{4}\b"), "discover"),
+                (ci(r"\b3[47]\d{2}[- ]?\d{6}[- ]?\d{5}\b")?, "amex"),
+                (ci(r"\b6011[- ]?\d{4}[- ]?\d{4}[- ]?\d{4}\b")?, "discover"),
             ],
             // The inline forms tolerate a doubled label prefix
             // ("Facebook: fb: handle"), common in structured dox drops.
-            facebook_url: ci(r"(https?://)?(www\.)?facebook\.com/([a-z0-9.]+)"),
+            facebook_url: ci(r"(https?://)?(www\.)?facebook\.com/([a-z0-9.]+)")?,
             facebook_inline: ci(
                 r"\b(facebook|fb)\s*:\s*(?:(?:facebook|fb)\s*:\s*)?@?([a-z0-9._-]+)",
-            ),
-            instagram_url: ci(r"(https?://)?(www\.)?instagram\.com/([a-z0-9._]+)"),
+            )?,
+            instagram_url: ci(r"(https?://)?(www\.)?instagram\.com/([a-z0-9._]+)")?,
             instagram_inline: ci(
                 r"\b(instagram|ig)\s*:\s*(?:(?:instagram|ig)\s*:\s*)?@?([a-z0-9._]+)",
-            ),
-            twitter_url: ci(r"(https?://)?(www\.)?twitter\.com/([a-z0-9_]+)"),
-            twitter_inline: ci(r"\btwitter\s*:\s*(?:twitter\s*:\s*)?@?([a-z0-9_]+)"),
+            )?,
+            twitter_url: ci(r"(https?://)?(www\.)?twitter\.com/([a-z0-9_]+)")?,
+            twitter_inline: ci(r"\btwitter\s*:\s*(?:twitter\s*:\s*)?@?([a-z0-9_]+)")?,
             youtube_url: ci(
                 r"(https?://)?(www\.)?youtube\.com/((channel|c|user)/|@)?([a-z0-9_-]+)",
-            ),
-            youtube_inline: ci(r"\byoutube\s*:\s*(?:youtube\s*:\s*)?@?([a-z0-9_-]+)"),
+            )?,
+            youtube_inline: ci(r"\byoutube\s*:\s*(?:youtube\s*:\s*)?@?([a-z0-9_-]+)")?,
         };
         // Spec mirrors of the INC005 lint: Table 6 fixes nine PII families;
         // §5.6's twelve expressions count each card network once.
         debug_assert_eq!(PiiKind::ALL.len(), 9);
         debug_assert_eq!(extractor.cards.len(), 4);
-        extractor
+        Ok(extractor)
     }
 
     /// Extracts all PII spans from a document.
@@ -342,6 +387,13 @@ mod tests {
 
     fn kinds(text: &str) -> Vec<PiiKind> {
         ex().pii_set(text).iter().collect()
+    }
+
+    #[test]
+    fn builtin_patterns_compile() {
+        // `PiiExtractor::new` leans on this: it proves the builtin pattern
+        // set compiles, so the infallible wrapper cannot actually panic.
+        assert!(PiiExtractor::try_new().is_ok());
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod harm;
 pub mod luhn;
 pub mod redact;
 
-pub use extract::{PiiExtractor, PiiMatch};
+pub use extract::{PiiError, PiiExtractor, PiiMatch};
 pub use gender::infer_gender;
 pub use harm::assign_risks;
 pub use redact::redact;

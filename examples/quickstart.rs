@@ -46,7 +46,8 @@ fn main() {
     // Run both pipelines.
     for task in Task::ALL {
         println!("=== {task} pipeline ===");
-        let outcome = run_pipeline(&corpus, task, &PipelineConfig::quick(7));
+        let outcome =
+            run_pipeline(&corpus, task, &PipelineConfig::quick(7)).expect("pipeline scoring");
         let c = &outcome.counts;
         println!("  raw documents scanned : {}", c.raw_documents);
         println!("  bootstrap candidates  : {}", c.bootstrap_candidates);

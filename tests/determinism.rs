@@ -32,8 +32,8 @@ fn different_seeds_differ() {
 #[test]
 fn pipeline_outcome_is_seed_deterministic() {
     let corpus = generate(&CorpusConfig::tiny(42));
-    let c1 = run_pipeline(&corpus, Task::Dox, &PipelineConfig::quick(9));
-    let c2 = run_pipeline(&corpus, Task::Dox, &PipelineConfig::quick(9));
+    let c1 = run_pipeline(&corpus, Task::Dox, &PipelineConfig::quick(9)).expect("pipeline scoring");
+    let c2 = run_pipeline(&corpus, Task::Dox, &PipelineConfig::quick(9)).expect("pipeline scoring");
     assert_eq!(c1.counts.true_positives, c2.counts.true_positives);
     assert_eq!(c1.counts.above_threshold, c2.counts.above_threshold);
     assert_eq!(c1.annotated_positive_ids(), c2.annotated_positive_ids());
@@ -45,8 +45,9 @@ fn pipeline_outcome_is_seed_deterministic() {
 #[test]
 fn pipeline_seed_changes_outcome_details() {
     let corpus = generate(&CorpusConfig::tiny(42));
-    let c1 = run_pipeline(&corpus, Task::Dox, &PipelineConfig::quick(9));
-    let c2 = run_pipeline(&corpus, Task::Dox, &PipelineConfig::quick(10));
+    let c1 = run_pipeline(&corpus, Task::Dox, &PipelineConfig::quick(9)).expect("pipeline scoring");
+    let c2 =
+        run_pipeline(&corpus, Task::Dox, &PipelineConfig::quick(10)).expect("pipeline scoring");
     // Same corpus, different pipeline seed: sampling-driven counts differ
     // in detail while staying in the same regime.
     assert!(c2.counts.true_positives > 0);

@@ -17,8 +17,8 @@ fn full_study_reproduces_headline_shapes() {
 
     // --- pipelines -------------------------------------------------------
     let pconfig = PipelineConfig::quick(11);
-    let cth_out = run_pipeline(&corpus, Task::Cth, &pconfig);
-    let dox_out = run_pipeline(&corpus, Task::Dox, &pconfig);
+    let cth_out = run_pipeline(&corpus, Task::Cth, &pconfig).expect("pipeline scoring");
+    let dox_out = run_pipeline(&corpus, Task::Dox, &pconfig).expect("pipeline scoring");
 
     // The dox task is the easier one (paper Table 3: F1 0.76 vs 0.63).
     let cth_auc = cth_out.eval.auc.unwrap_or(0.5);
@@ -131,7 +131,8 @@ fn thread_analysis_matches_paper_shape() {
 #[test]
 fn pastes_never_enter_the_cth_pipeline() {
     let corpus = corpus();
-    let out = run_pipeline(&corpus, Task::Cth, &PipelineConfig::quick(5));
+    let out =
+        run_pipeline(&corpus, Task::Cth, &PipelineConfig::quick(5)).expect("pipeline scoring");
     assert!(out
         .thresholds
         .iter()

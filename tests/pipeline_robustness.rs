@@ -12,7 +12,7 @@ fn pipeline_survives_a_corpus_with_no_positives() {
     };
     let corpus = generate(&config);
     for task in Task::ALL {
-        let out = run_pipeline(&corpus, task, &PipelineConfig::quick(1));
+        let out = run_pipeline(&corpus, task, &PipelineConfig::quick(1)).expect("pipeline scoring");
         // Nothing (or nearly nothing — annotator noise can admit a stray
         // false positive) should survive the expert pass.
         assert!(
@@ -39,7 +39,7 @@ fn pipeline_survives_tiny_annotation_budgets() {
         max_seeds: 20,
         ..PipelineConfig::quick(2)
     };
-    let out = run_pipeline(&corpus, Task::Dox, &config);
+    let out = run_pipeline(&corpus, Task::Dox, &config).expect("pipeline scoring");
     for t in &out.thresholds {
         assert!(t.annotated <= 3, "budget exceeded on {:?}", t.platform);
     }
@@ -52,7 +52,7 @@ fn pipeline_survives_zero_active_learning_rounds() {
         al_rounds: 0,
         ..PipelineConfig::quick(2)
     };
-    let out = run_pipeline(&corpus, Task::Dox, &config);
+    let out = run_pipeline(&corpus, Task::Dox, &config).expect("pipeline scoring");
     assert!(out.rounds.is_empty());
     assert_eq!(out.counts.crowd_annotations, 0);
     // Seeds alone still give a usable dox classifier on this corpus.
