@@ -53,6 +53,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "Featurize-once engine vs naive per-pass scoring (BENCH line)",
     ),
     (
+        "checkpoint_overhead",
+        "Plain vs checkpointed resumable pipeline (BENCH line)",
+    ),
+    (
         "extension_attack_types",
         "\u{a7}9.2 extension: per-attack-type classifiers",
     ),
@@ -90,6 +94,7 @@ pub fn run_experiment(id: &str, ctx: &mut ReproContext) -> Option<String> {
         "sec7_4" => sec7_4(ctx),
         "ablations" => crate::ablations::run(ctx),
         "score_throughput" => crate::throughput::run(ctx),
+        "checkpoint_overhead" => crate::checkpoint_overhead::run(ctx),
         "extension_attack_types" => extension_attack_types(ctx),
         "extension_longitudinal" => extension_longitudinal(ctx),
         _ => return None,

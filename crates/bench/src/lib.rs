@@ -10,6 +10,7 @@
 //! ```
 
 pub mod ablations;
+pub mod checkpoint_overhead;
 pub mod context;
 pub mod experiments;
 pub mod throughput;

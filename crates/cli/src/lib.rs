@@ -8,12 +8,17 @@
 //! The logic lives here in the library so it is unit-testable; the `incite`
 //! binary is a thin argument parser over [`run`].
 
-use incite_corpus::jsonl;
+use incite_core::checkpoint::atomic_io::write_atomic;
+use incite_core::checkpoint::Resume;
+use incite_core::{clear_run_dir, run_pipeline_resumable, Checkpointer, PipelineConfig, Task};
+use incite_corpus::jsonl::{self, QuarantineStats};
+use incite_corpus::{Corpus, CorpusConfig};
 use incite_ml::{
     load_model, save_model, FeatureMode, FeaturizerConfig, TextClassifier, TrainConfig,
 };
 use incite_pii::{infer_gender, redact, PiiExtractor};
 use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
 
 /// CLI errors, printable to stderr.
 #[derive(Debug)]
@@ -50,6 +55,12 @@ incite <command> [options]
 commands:
   train   --corpus FILE.jsonl --task cth|dox --out MODEL.json [--max-len N]
           train a detector from a labeled JSONL corpus (corpus-gen format)
+  run     --corpus FILE.jsonl --task cth|dox --resume DIR
+          [--seed N] [--force true]
+          run the full checkpointed pipeline with run directory DIR; a
+          killed run resumes from its last completed step and finishes
+          with a byte-identical outcome. `--force true` discards any
+          existing checkpoints in DIR first.
   score   --model MODEL.json [--input FILE] [--threshold T]
           score one text per input line; prints `score<TAB>text`
   pii     [--input FILE]
@@ -91,6 +102,39 @@ fn input_lines(flags: &std::collections::HashMap<String, String>) -> Result<Vec<
         .map_err(|e| err(format!("read input: {e}")))
 }
 
+/// Loads a JSONL corpus with the quarantining reader: one bad crawler
+/// record never aborts a train or pipeline run. Any quarantined lines are
+/// reported to `out` so silent data loss is impossible.
+fn load_corpus_lines(
+    corpus_path: &str,
+    out: &mut dyn Write,
+) -> Result<Vec<incite_corpus::Document>, CliError> {
+    let file =
+        std::fs::File::open(corpus_path).map_err(|e| err(format!("open {corpus_path}: {e}")))?;
+    let (docs, stats): (_, QuarantineStats) =
+        jsonl::read_jsonl_quarantine(file).map_err(|e| err(format!("parse corpus: {e}")))?;
+    if stats.quarantined() > 0 {
+        let (line, reason) = stats
+            .first_error
+            .clone()
+            .unwrap_or((0, "unknown".to_string()));
+        writeln!(
+            out,
+            "warning: quarantined {} corpus line(s) ({} malformed, {} non-UTF-8, {} truncated); \
+             first at line {line}: {reason}",
+            stats.quarantined(),
+            stats.malformed,
+            stats.non_utf8,
+            stats.truncated
+        )
+        .map_err(|e| err(e.to_string()))?;
+    }
+    if docs.is_empty() {
+        return Err(err(format!("{corpus_path} contains no readable documents")));
+    }
+    Ok(docs)
+}
+
 /// Runs one CLI command, writing results to `out`.
 pub fn run(command: &str, args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let flags = parse_flags(args)?;
@@ -109,9 +153,7 @@ pub fn run(command: &str, args: &[String], out: &mut dyn Write) -> Result<(), Cl
                 .transpose()?
                 .unwrap_or(if task == "dox" { 512 } else { 128 });
 
-            let file = std::fs::File::open(corpus_path)
-                .map_err(|e| err(format!("open {corpus_path}: {e}")))?;
-            let docs = jsonl::read_jsonl(file).map_err(|e| err(format!("parse corpus: {e}")))?;
+            let docs = load_corpus_lines(corpus_path, out)?;
             let labeled: Vec<(&str, bool)> = docs
                 .iter()
                 .map(|d| {
@@ -136,15 +178,99 @@ pub fn run(command: &str, args: &[String], out: &mut dyn Write) -> Result<(), Cl
                 },
                 TrainConfig::default(),
             );
-            let f = std::fs::File::create(out_path)
-                .map_err(|e| err(format!("create {out_path}: {e}")))?;
-            save_model(f, &clf).map_err(|e| err(e.to_string()))?;
+            // Model artifacts go through the checkpoint module's atomic
+            // write-rename (INC006): a crash mid-save can never leave a
+            // torn model file behind.
+            let mut buf = Vec::new();
+            save_model(&mut buf, &clf).map_err(|e| err(e.to_string()))?;
+            write_atomic(Path::new(out_path), &buf)
+                .map_err(|e| err(format!("write {out_path}: {e}")))?;
             writeln!(
                 out,
                 "trained {task} model on {} documents ({positives} positive) -> {out_path}",
                 docs.len()
             )
             .map_err(|e| err(e.to_string()))?;
+            Ok(())
+        }
+        "run" => {
+            let corpus_path = flags
+                .get("corpus")
+                .ok_or_else(|| err("run requires --corpus"))?;
+            let task = match flags.get("task").map(String::as_str).unwrap_or("cth") {
+                "cth" => Task::Cth,
+                "dox" => Task::Dox,
+                other => return Err(err(format!("unknown task '{other}'"))),
+            };
+            let run_dir = flags
+                .get("resume")
+                .ok_or_else(|| err("run requires --resume DIR (the checkpoint directory)"))?;
+            let seed: u64 = flags
+                .get("seed")
+                .map(|s| s.parse().map_err(|_| err("--seed takes a number")))
+                .transpose()?
+                .unwrap_or(1);
+            let dir = Path::new(run_dir);
+            if flags.get("force").map(String::as_str) == Some("true") {
+                clear_run_dir(dir).map_err(|e| err(e.to_string()))?;
+                writeln!(out, "discarded existing checkpoints in {run_dir}")
+                    .map_err(|e| err(e.to_string()))?;
+            }
+
+            let docs = load_corpus_lines(corpus_path, out)?;
+            let corpus = Corpus {
+                documents: docs,
+                config: CorpusConfig::default(),
+            };
+            let config = PipelineConfig::quick(seed);
+
+            // Recovery progress: report what the run directory already
+            // holds before the pipeline continues from it.
+            let (ckpt, resume) = Checkpointer::open(dir, task.slug(), &config.fingerprint())
+                .map_err(|e| err(e.to_string()))?;
+            match resume {
+                Resume::Fresh => {
+                    writeln!(out, "starting fresh run in {run_dir}")
+                        .map_err(|e| err(e.to_string()))?;
+                }
+                Resume::FromStep { completed } => {
+                    let last = ckpt.step_names().last().unwrap_or("none");
+                    writeln!(
+                        out,
+                        "resuming in {run_dir}: {completed} step(s) verified and checkpointed \
+                         (last: {last})"
+                    )
+                    .map_err(|e| err(e.to_string()))?;
+                }
+            }
+            drop(ckpt);
+
+            let outcome = run_pipeline_resumable(&corpus, task, &config, dir)
+                .map_err(|e| err(e.to_string()))?;
+            writeln!(
+                out,
+                "{} pipeline complete: {} documents, {} above threshold, \
+                 {} true positives (precision {:.3}), outcome digest {:016x}",
+                task.slug(),
+                outcome.counts.raw_documents,
+                outcome.counts.above_threshold,
+                outcome.counts.true_positives,
+                outcome.counts.final_precision(),
+                outcome.digest()
+            )
+            .map_err(|e| err(e.to_string()))?;
+            for row in &outcome.thresholds {
+                writeln!(
+                    out,
+                    "  {}: t={} above={} annotated={} precision={:.3}",
+                    row.platform.slug(),
+                    row.threshold,
+                    row.above_threshold,
+                    row.annotated,
+                    row.precision()
+                )
+                .map_err(|e| err(e.to_string()))?;
+            }
             Ok(())
         }
         "score" => {
@@ -329,6 +455,89 @@ mod tests {
         let text = String::from_utf8(out)?;
         assert!(text.starts_with("female\t"));
         assert!(text.contains("unknown\t"));
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn run_command_checkpoints_and_resumes() -> TestResult {
+        let dir = std::env::temp_dir().join(format!("incite-cli-run-{}", std::process::id()));
+        std::fs::create_dir_all(&dir)?;
+        let corpus_path = dir.join("corpus.jsonl");
+        let run_dir = dir.join("run");
+
+        let corpus = generate(&CorpusConfig::tiny(404));
+        let f = std::fs::File::create(&corpus_path)?;
+        jsonl::write_jsonl(f, &corpus.documents)?;
+
+        let args = flags(&[
+            ("corpus", path_str(&corpus_path)?),
+            ("task", "dox"),
+            ("resume", path_str(&run_dir)?),
+            ("seed", "3"),
+        ]);
+        let mut out = Vec::new();
+        run("run", &args, &mut out)?;
+        let text = String::from_utf8(out)?;
+        assert!(text.contains("starting fresh run"), "{text}");
+        assert!(text.contains("pipeline complete"), "{text}");
+        let digest_line = |t: &str| -> Result<String, CliError> {
+            t.lines()
+                .find(|l| l.contains("outcome digest"))
+                .map(str::to_string)
+                .ok_or_else(|| err("no digest line"))
+        };
+        let first_digest = digest_line(&text)?;
+
+        // Second invocation resumes from the completed checkpoints and
+        // reports the identical outcome.
+        let mut out = Vec::new();
+        run("run", &args, &mut out)?;
+        let text = String::from_utf8(out)?;
+        assert!(text.contains("resuming in"), "{text}");
+        assert!(text.contains("step(s) verified and checkpointed"), "{text}");
+        assert_eq!(digest_line(&text)?, first_digest);
+
+        // --force discards the checkpoints and starts fresh — same digest.
+        let mut forced = args.clone();
+        forced.extend(flags(&[("force", "true")]));
+        let mut out = Vec::new();
+        run("run", &forced, &mut out)?;
+        let text = String::from_utf8(out)?;
+        assert!(text.contains("discarded existing checkpoints"), "{text}");
+        assert!(text.contains("starting fresh run"), "{text}");
+        assert_eq!(digest_line(&text)?, first_digest);
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn train_quarantines_dirty_corpus_lines() -> TestResult {
+        let dir = std::env::temp_dir().join(format!("incite-cli-dirty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir)?;
+        let corpus_path = dir.join("corpus.jsonl");
+        let model_path = dir.join("model.json");
+
+        let corpus = generate(&CorpusConfig::tiny(11));
+        let mut buf = Vec::new();
+        jsonl::write_jsonl(&mut buf, &corpus.documents)?;
+        buf.extend_from_slice(b"{\"not\": \"a document\"}\n\xff\xfe broken \xff\n");
+        std::fs::write(&corpus_path, &buf)?;
+
+        let mut out = Vec::new();
+        run(
+            "train",
+            &flags(&[
+                ("corpus", path_str(&corpus_path)?),
+                ("task", "cth"),
+                ("out", path_str(&model_path)?),
+            ]),
+            &mut out,
+        )?;
+        let text = String::from_utf8(out)?;
+        assert!(text.contains("quarantined 2 corpus line(s)"), "{text}");
+        assert!(text.contains("trained cth model"), "{text}");
+        assert!(model_path.exists());
         std::fs::remove_dir_all(&dir).ok();
         Ok(())
     }

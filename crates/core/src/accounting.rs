@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Document counts at each pipeline stage for one task.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StageCounts {
     /// Raw corpus size the pipeline scanned (step 3 in Figure 1).
     pub raw_documents: u64,

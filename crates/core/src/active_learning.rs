@@ -7,6 +7,7 @@
 //! the predicted data into 10 ranges between 0.0 and 1.0 and sampled evenly
 //! from each range."
 
+use crate::failpoint::{FailpointRegistry, InjectedFault};
 use crate::task::Task;
 use incite_annotate::{annotate_batch, Annotator};
 use incite_corpus::{Corpus, DocId, Document};
@@ -16,7 +17,7 @@ use rand::seq::SliceRandom;
 use std::collections::HashSet;
 
 /// Statistics from one active-learning round.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RoundStats {
     /// Documents sampled and crowd-annotated this round.
     pub sampled: usize,
@@ -56,7 +57,13 @@ pub fn decile_sample(
 /// extend training set → retrain.
 ///
 /// Retraining goes through `cache`: only the documents added this round
-/// are featurized; everything already in the training set is reused.
+/// are featurized; everything already in the round set is reused.
+///
+/// The `mid-annotation-batch` failpoint sits between crowd annotation and
+/// the training-set mutation — the worst possible crash position, with a
+/// full paid batch in flight. An injected fault here discards the batch;
+/// the crash-recovery sweep proves a resume replays the round identically
+/// from the previous boundary.
 #[allow(clippy::too_many_arguments)]
 pub fn active_learning_round(
     corpus: &Corpus,
@@ -68,8 +75,9 @@ pub fn active_learning_round(
     per_decile: usize,
     crowd: (&Annotator, &Annotator, &Annotator),
     train_config: incite_ml::TrainConfig,
+    failpoints: &FailpointRegistry,
     rng: &mut StdRng,
-) -> RoundStats {
+) -> Result<RoundStats, InjectedFault> {
     let labeled: HashSet<DocId> = training.iter().map(|(id, _, _)| *id).collect();
     let sampled_ids = decile_sample(scores, per_decile, &labeled, rng);
 
@@ -84,6 +92,7 @@ pub fn active_learning_round(
     // Crowd annotation with the two + tie-break protocol.
     let truths: Vec<bool> = sampled_docs.iter().map(|d| task.truth(d)).collect();
     let outcome = annotate_batch(&truths, crowd.0, crowd.1, crowd.2, rng);
+    failpoints.check("mid-annotation-batch")?;
 
     let mut positives_added = 0;
     for (doc, &label) in sampled_docs.iter().zip(&outcome.labels) {
@@ -101,12 +110,12 @@ pub fn active_learning_round(
     );
     classifier.retrain_features(&data, train_config);
 
-    RoundStats {
+    Ok(RoundStats {
         sampled: sampled_docs.len(),
         disagreement_rate: outcome.disagreement_rate(),
         kappa: outcome.kappa,
         positives_added,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,229 @@
+//! The single place in the workspace allowed to write files.
+//!
+//! Crash recovery is only as good as the weakest write: a checkpoint torn
+//! mid-`write(2)` is worse than no checkpoint, because resume would trust
+//! it. Every persisted artifact therefore goes through [`write_hashed`]:
+//!
+//! 1. the payload is framed with an FNV-1a 64 content-hash footer,
+//! 2. written to a temporary sibling (`.<name>.tmp`) in the target
+//!    directory, and
+//! 3. atomically renamed over the destination.
+//!
+//! A reader therefore sees either the complete old file or the complete
+//! new file — never a prefix — and [`read_hashed`] refuses anything whose
+//! recomputed hash disagrees with the footer (single bit flips included).
+//!
+//! Durability model: rename atomicity is sufficient for the *process*
+//! crashes the failpoint harness injects — a killed process loses nothing
+//! `write(2)` already handed to the page cache, so no fsync is issued and
+//! the per-step checkpoint tax stays inside the `checkpoint_overhead`
+//! budget (< 10 % on quick corpora). Tearing from a power loss is
+//! *detected* rather than prevented: the footer check refuses the file
+//! and `clear_run_dir` (the CLI's `--force`) recovers the directory, so
+//! damaged state is never resumed from either way.
+//!
+//! Lint rule INC006 enforces the funnel: `File::create`, `fs::write` and
+//! `OpenOptions` are banned from library code everywhere except this
+//! module, so no code path can quietly bypass the write-rename + hash
+//! discipline.
+
+use super::CheckpointError;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// FNV-1a 64-bit content hash.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// [`fnv64`] rendered as the fixed-width hex used in footers and manifests.
+pub fn fnv64_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv64(bytes))
+}
+
+/// Integrity footer marker. The footer is appended after the payload, so
+/// the *last* occurrence of this marker is always the real footer — even
+/// for binary payloads that could contain the byte sequence by chance.
+const FOOTER_PREFIX: &[u8] = b"\n#fnv64:";
+
+fn io_err(path: &Path, source: std::io::Error) -> CheckpointError {
+    CheckpointError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+fn tmp_sibling(path: &Path) -> Result<PathBuf, CheckpointError> {
+    let name =
+        path.file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| CheckpointError::Corrupt {
+                path: path.to_path_buf(),
+                detail: "path has no usable file name".to_string(),
+            })?;
+    Ok(path.with_file_name(format!(".{name}.tmp")))
+}
+
+/// Atomically replaces `path` with `bytes` via write-to-temp + rename.
+/// The raw building block; checkpoint files should prefer
+/// [`write_hashed`], which adds the integrity footer.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent).map_err(|e| io_err(parent, e))?;
+        }
+    }
+    let tmp = tmp_sibling(path)?;
+    let mut file = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+    file.write_all(bytes).map_err(|e| io_err(&tmp, e))?;
+    drop(file);
+    fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+}
+
+/// Atomically writes `payload` framed with an FNV content-hash footer.
+/// Returns the payload hash (hex) for manifest bookkeeping.
+pub fn write_hashed(path: &Path, payload: &[u8]) -> Result<String, CheckpointError> {
+    let hash = fnv64_hex(payload);
+    write_framed(path, payload, &hash)?;
+    Ok(hash)
+}
+
+/// [`write_hashed`] with the payload hash already computed by the caller
+/// (checkpoint section dedup hashes every payload anyway; multi-megabyte
+/// model sections should not pay the FNV pass twice).
+pub fn write_framed(path: &Path, payload: &[u8], hash: &str) -> Result<(), CheckpointError> {
+    debug_assert_eq!(hash, fnv64_hex(payload));
+    let mut framed = Vec::with_capacity(payload.len() + FOOTER_PREFIX.len() + 17);
+    framed.extend_from_slice(payload);
+    framed.extend_from_slice(FOOTER_PREFIX);
+    framed.extend_from_slice(hash.as_bytes());
+    framed.push(b'\n');
+    write_atomic(path, &framed)
+}
+
+/// Reads a [`write_hashed`] file, verifying the footer. Any corruption —
+/// a flipped bit in the payload, a damaged footer, a truncated file —
+/// surfaces as a typed [`CheckpointError`]; the payload is returned only
+/// when the recomputed hash matches exactly.
+pub fn read_hashed(path: &Path) -> Result<Vec<u8>, CheckpointError> {
+    let framed = fs::read(path).map_err(|e| io_err(path, e))?;
+    let footer_at = framed
+        .windows(FOOTER_PREFIX.len())
+        .rposition(|w| w == FOOTER_PREFIX)
+        .ok_or_else(|| CheckpointError::Corrupt {
+            path: path.to_path_buf(),
+            detail: "missing integrity footer (truncated or foreign file)".to_string(),
+        })?;
+    let payload = &framed[..footer_at];
+    let footer = &framed[footer_at + FOOTER_PREFIX.len()..];
+    // Strict footer shape — exactly 16 hex digits and a closing newline —
+    // so a flip of *any* byte, the terminator included, is corruption.
+    if footer.len() != 17 || footer[16] != b'\n' || !footer[..16].iter().all(u8::is_ascii_hexdigit)
+    {
+        return Err(CheckpointError::Corrupt {
+            path: path.to_path_buf(),
+            detail: "malformed integrity footer".to_string(),
+        });
+    }
+    let expected = std::str::from_utf8(&footer[..16])
+        .map_err(|_| CheckpointError::Corrupt {
+            path: path.to_path_buf(),
+            detail: "integrity footer is not UTF-8".to_string(),
+        })?
+        .to_string();
+    let actual = fnv64_hex(payload);
+    if expected != actual {
+        return Err(CheckpointError::HashMismatch {
+            path: path.to_path_buf(),
+            expected,
+            actual,
+        });
+    }
+    Ok(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("incite-atomic-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn fnv_is_stable_and_sensitive() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv64(b"abc"), fnv64(b"abd"));
+        assert_eq!(fnv64_hex(b"abc").len(), 16);
+    }
+
+    #[test]
+    fn hashed_roundtrip_and_no_temp_residue() {
+        let dir = temp_dir("roundtrip");
+        let path = dir.join("state.ckpt");
+        let payload = br#"{"step":"bootstrap","n":42}"#;
+        let hash = write_hashed(&path, payload).expect("write");
+        assert_eq!(hash, fnv64_hex(payload));
+        assert_eq!(read_hashed(&path).expect("read"), payload.to_vec());
+        // The temp sibling must be gone after the rename.
+        assert!(!dir.join(".state.ckpt.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn overwrite_is_atomic_replacement() {
+        let dir = temp_dir("overwrite");
+        let path = dir.join("state.ckpt");
+        write_hashed(&path, b"first").expect("write 1");
+        write_hashed(&path, b"second").expect("write 2");
+        assert_eq!(read_hashed(&path).expect("read"), b"second".to_vec());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let dir = temp_dir("flip");
+        let path = dir.join("state.ckpt");
+        write_hashed(&path, b"checkpoint payload bytes").expect("write");
+        let clean = std::fs::read(&path).expect("raw read");
+        for i in 0..clean.len() {
+            let mut corrupt = clean.clone();
+            corrupt[i] ^= 0x01;
+            std::fs::write(&path, &corrupt).expect("corrupt write");
+            assert!(
+                read_hashed(&path).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let dir = temp_dir("trunc");
+        let path = dir.join("state.ckpt");
+        write_hashed(&path, b"a longer payload that will be cut").expect("write");
+        let clean = std::fs::read(&path).expect("raw read");
+        std::fs::write(&path, &clean[..clean.len() / 2]).expect("truncate");
+        assert!(read_hashed(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let dir = temp_dir("missing");
+        match read_hashed(&dir.join("nope.ckpt")) {
+            Err(CheckpointError::Io { .. }) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

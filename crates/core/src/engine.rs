@@ -20,7 +20,7 @@ use incite_ml::batch::FeatureMatrix;
 use incite_ml::{Featurizer, LogisticRegression, TextClassifier};
 
 /// Instrumentation for the featurize-once invariant and the BENCH report.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct EngineStats {
     /// Documents held in the feature arena.
     pub documents: usize,
@@ -93,6 +93,25 @@ impl ScoringEngine {
     /// Featurize/score pass counters and arena size.
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Overwrites the pass counters with checkpointed values after a
+    /// crash-recovery rebuild.
+    ///
+    /// Resuming a checkpointed pipeline re-featurizes the corpus into a
+    /// fresh arena (the CSR buffers are derivable state and are not
+    /// persisted), which would reset `featurize_passes`/`score_passes` and
+    /// break the byte-identical-outcome contract. Restoring the saved
+    /// counters keeps `PipelineOutcome::engine` identical to an
+    /// uninterrupted run. The arena-shape fields double as an integrity
+    /// check: a `documents`/`nnz` mismatch means the corpus or featurizer
+    /// differs from the checkpointed run, and the restore is refused.
+    pub fn restore_stats(&mut self, saved: EngineStats) -> Result<(), EngineStats> {
+        if saved.documents != self.stats.documents || saved.nnz != self.stats.nnz {
+            return Err(self.stats);
+        }
+        self.stats = saved;
+        Ok(())
     }
 }
 

@@ -36,7 +36,9 @@ pub mod accounting;
 pub mod active_learning;
 pub mod attack_classifier;
 pub mod bootstrap;
+pub mod checkpoint;
 pub mod engine;
+pub mod failpoint;
 pub mod parallel;
 pub mod pipeline;
 pub mod query;
@@ -44,8 +46,13 @@ pub mod task;
 pub mod threshold;
 
 pub use attack_classifier::AttackTypeClassifier;
+pub use checkpoint::{clear_run_dir, CheckpointError, Checkpointer, PipelineSnapshot};
 pub use engine::{score_corpus, EngineStats, ScoringEngine};
+pub use failpoint::{pipeline_sites, FailpointRegistry, InjectedFault};
 pub use parallel::ScoreError;
-pub use pipeline::{run_pipeline, PipelineConfig, PipelineOutcome};
+pub use pipeline::{
+    run_pipeline, run_pipeline_resumable, ConfigError, PipelineConfig, PipelineError,
+    PipelineOutcome,
+};
 pub use query::Query;
 pub use task::Task;

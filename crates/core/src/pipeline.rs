@@ -5,11 +5,24 @@
 //! each of the `al_rounds + 1` full-corpus passes is a parallel spmv
 //! against the current weight vector (see [`crate::engine`]). Training-set
 //! features are likewise cached across every retrain.
+//!
+//! The pipeline is structured as a linear sequence of *steps* — bootstrap,
+//! featurize, one step per active-learning round, eval, score, one step per
+//! platform threshold. [`run_pipeline`] executes them in memory;
+//! [`run_pipeline_resumable`] additionally persists a
+//! [`PipelineSnapshot`] at every step
+//! boundary into a run directory, so a run killed at any boundary resumes
+//! to a **byte-identical** [`PipelineOutcome`] (DESIGN.md §12). Both entry
+//! points share one driver, so the checkpointed path cannot drift from the
+//! plain one.
 
 use crate::accounting::StageCounts;
 use crate::active_learning::{active_learning_round, RoundStats};
 use crate::bootstrap::bootstrap;
+use crate::checkpoint::atomic_io::{fnv64, fnv64_hex};
+use crate::checkpoint::{CheckpointError, Checkpointer, PipelineSnapshot, Resume};
 use crate::engine::{EngineStats, ScoringEngine};
+use crate::failpoint::{FailpointRegistry, InjectedFault};
 use crate::parallel::ScoreError;
 use crate::task::Task;
 use crate::threshold::{select_threshold, PlatformThreshold, ThresholdConfig};
@@ -22,6 +35,8 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::Path;
 
 pub use crate::engine::score_corpus;
 
@@ -51,6 +66,10 @@ pub struct PipelineConfig {
     pub threads: usize,
     /// Fraction of labeled data held out for the Table 3 evaluation.
     pub eval_fraction: f64,
+    /// Deterministic fault injection for crash-recovery testing. Empty by
+    /// default; zero-sized and free unless the `failpoints` cargo feature
+    /// is enabled.
+    pub failpoints: FailpointRegistry,
 }
 
 impl Default for PipelineConfig {
@@ -67,6 +86,7 @@ impl Default for PipelineConfig {
             train: TrainConfig::default(),
             threads: 4,
             eval_fraction: 0.2,
+            failpoints: FailpointRegistry::new(),
         }
     }
 }
@@ -86,10 +106,159 @@ impl PipelineConfig {
             ..Default::default()
         }
     }
+
+    /// Rejects configurations that would silently produce degenerate runs
+    /// (empty seed sets, no-op annotation rounds, NaN precision probes).
+    /// Called at the top of every pipeline entry point.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_seeds == 0 {
+            return Err(ConfigError::EmptySeedQuery);
+        }
+        if self.al_rounds > 0 && self.per_decile == 0 {
+            return Err(ConfigError::ZeroPerDecile);
+        }
+        if self.al_rounds > 0 && self.annotation_budget == 0 {
+            return Err(ConfigError::ZeroAnnotationBudget);
+        }
+        if self.threshold.probe_sample == 0 {
+            return Err(ConfigError::ZeroProbeSample);
+        }
+        if !(0.0..1.0).contains(&self.eval_fraction) {
+            return Err(ConfigError::BadEvalFraction(self.eval_fraction));
+        }
+        Ok(())
+    }
+
+    /// Stable fingerprint of every parameter that shapes the deterministic
+    /// outcome. `threads` is excluded (scoring is byte-identical across
+    /// thread counts) and so is the failpoint registry (an armed run and
+    /// its disarmed resume share one run directory). A resumed run whose
+    /// fingerprint differs from the checkpointed one is refused as
+    /// [`CheckpointError::Incompatible`].
+    pub fn fingerprint(&self) -> String {
+        let mut repr = String::new();
+        let _ = write!(
+            repr,
+            "v1;seed={};al_rounds={};per_decile={};max_seeds={};annotation_budget={};",
+            self.seed, self.al_rounds, self.per_decile, self.max_seeds, self.annotation_budget
+        );
+        let _ = write!(
+            repr,
+            "threshold={:?};hash_bits={};feature_mode={:?};train={:?};eval_fraction={}",
+            self.threshold, self.hash_bits, self.feature_mode, self.train, self.eval_fraction
+        );
+        fnv64_hex(repr.as_bytes())
+    }
+}
+
+/// A degenerate [`PipelineConfig`] rejected by
+/// [`PipelineConfig::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `max_seeds == 0`: the bootstrap query would label nothing and every
+    /// downstream classifier would train on an empty set.
+    EmptySeedQuery,
+    /// `per_decile == 0` with `al_rounds > 0`: each round would sample
+    /// zero documents and the decile stratification degenerates.
+    ZeroPerDecile,
+    /// `annotation_budget == 0` with `al_rounds > 0`: the final expert
+    /// pass could annotate nothing the rounds worked to surface.
+    ZeroAnnotationBudget,
+    /// `threshold.probe_sample == 0`: every precision probe would divide
+    /// zero positives by an empty pool.
+    ZeroProbeSample,
+    /// `eval_fraction` outside `[0, 1)`: the held-out split would swallow
+    /// the whole training set (or a negative share of it).
+    BadEvalFraction(f64),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::EmptySeedQuery => {
+                write!(f, "invalid config: max_seeds is 0 (empty seed query)")
+            }
+            ConfigError::ZeroPerDecile => write!(
+                f,
+                "invalid config: per_decile is 0 with al_rounds > 0 (rounds would sample nothing)"
+            ),
+            ConfigError::ZeroAnnotationBudget => write!(
+                f,
+                "invalid config: annotation_budget is 0 with al_rounds > 0"
+            ),
+            ConfigError::ZeroProbeSample => {
+                write!(f, "invalid config: threshold.probe_sample is 0")
+            }
+            ConfigError::BadEvalFraction(x) => {
+                write!(f, "invalid config: eval_fraction {x} outside [0, 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Any failure of a pipeline run.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The configuration is degenerate (see [`ConfigError`]).
+    Config(ConfigError),
+    /// A scoring worker panicked.
+    Score(ScoreError),
+    /// The checkpoint subsystem refused a read or write.
+    Checkpoint(CheckpointError),
+    /// A deterministic failpoint fired (test builds only).
+    Fault(InjectedFault),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Config(e) => e.fmt(f),
+            PipelineError::Score(e) => e.fmt(f),
+            PipelineError::Checkpoint(e) => e.fmt(f),
+            PipelineError::Fault(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Config(e) => Some(e),
+            PipelineError::Score(e) => Some(e),
+            PipelineError::Checkpoint(e) => Some(e),
+            PipelineError::Fault(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for PipelineError {
+    fn from(e: ConfigError) -> Self {
+        PipelineError::Config(e)
+    }
+}
+
+impl From<ScoreError> for PipelineError {
+    fn from(e: ScoreError) -> Self {
+        PipelineError::Score(e)
+    }
+}
+
+impl From<CheckpointError> for PipelineError {
+    fn from(e: CheckpointError) -> Self {
+        PipelineError::Checkpoint(e)
+    }
+}
+
+impl From<InjectedFault> for PipelineError {
+    fn from(e: InjectedFault) -> Self {
+        PipelineError::Fault(e)
+    }
 }
 
 /// Everything a pipeline run produces.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineOutcome {
     pub task: Task,
     /// Figure 1 stage counts.
@@ -136,18 +305,174 @@ impl PipelineOutcome {
         ids.dedup();
         ids
     }
+
+    /// Canonical FNV-1a digest of the full outcome, including every score's
+    /// raw `f32` bits. Two outcomes compare equal iff their digests match;
+    /// the kill-point sweep and the checkpoint-overhead BENCH experiment
+    /// use this as the byte-identity witness.
+    pub fn digest(&self) -> u64 {
+        let mut repr = String::new();
+        let _ = write!(repr, "task={};counts={:?};", self.task.slug(), self.counts);
+        for r in &self.rounds {
+            let _ = write!(repr, "round={:?};", r);
+        }
+        for t in &self.thresholds {
+            let _ = write!(
+                repr,
+                "thr={} {} {} {} {} {} {:?} {:?};",
+                t.platform.slug(),
+                t.threshold,
+                t.above_threshold,
+                t.annotated,
+                t.true_positives,
+                t.exhaustive,
+                t.above_ids,
+                t.positive_ids
+            );
+        }
+        let _ = write!(repr, "eval={:?};", self.eval);
+        let mut by_platform: Vec<_> = self.training_by_platform.iter().collect();
+        by_platform.sort_by_key(|(p, _)| **p);
+        for (p, (pos, neg)) in by_platform {
+            let _ = write!(repr, "train={} {pos} {neg};", p.slug());
+        }
+        for (id, score) in &self.scores {
+            let _ = write!(repr, "s{}={:08x};", id.0, score.to_bits());
+        }
+        let _ = write!(repr, "engine={:?}", self.engine);
+        fnv64(repr.as_bytes())
+    }
 }
 
-/// Runs one task's full pipeline over a corpus.
-///
-/// The only error source is a scoring-worker panic, surfaced as a typed
-/// [`ScoreError`] instead of aborting the process.
+/// Runs one task's full pipeline over a corpus, in memory.
 pub fn run_pipeline(
     corpus: &Corpus,
     task: Task,
     config: &PipelineConfig,
-) -> Result<PipelineOutcome, ScoreError> {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ task.slug().len() as u64);
+) -> Result<PipelineOutcome, PipelineError> {
+    config.validate()?;
+    drive(corpus, task, config, None, None)
+}
+
+/// Runs the pipeline with a checkpoint written at every step boundary into
+/// `run_dir`, resuming from the last completed step when the directory
+/// already holds a verified run.
+///
+/// The contract: kill the process at any boundary, call this again with
+/// the same corpus, task, config, and directory, and the returned
+/// [`PipelineOutcome`] is byte-identical to an uninterrupted run
+/// (`PartialEq`-equal, equal [`PipelineOutcome::digest`]). A directory
+/// checkpointed by a different task or config is refused with
+/// [`CheckpointError::Incompatible`]; any corrupted checkpoint file is
+/// refused with [`CheckpointError::HashMismatch`]. Use
+/// [`crate::checkpoint::clear_run_dir`] to discard an old run first.
+pub fn run_pipeline_resumable(
+    corpus: &Corpus,
+    task: Task,
+    config: &PipelineConfig,
+    run_dir: &Path,
+) -> Result<PipelineOutcome, PipelineError> {
+    config.validate()?;
+    let (mut ckpt, resume) = Checkpointer::open(run_dir, task.slug(), &config.fingerprint())?;
+    let restored = match resume {
+        Resume::Fresh => None,
+        Resume::FromStep { .. } => ckpt.load_latest()?,
+    };
+    drive(corpus, task, config, Some(&mut ckpt), restored)
+}
+
+/// Builds the boundary snapshot from the live run state.
+#[allow(clippy::too_many_arguments)]
+fn make_snapshot(
+    rng: &StdRng,
+    counts: &StageCounts,
+    training: &[(DocId, String, bool)],
+    rounds: &[RoundStats],
+    thresholds: &[PlatformThreshold],
+    scores: Option<&Vec<(DocId, f32)>>,
+    eval: Option<&EvalReport>,
+    engine: Option<EngineStats>,
+) -> PipelineSnapshot {
+    PipelineSnapshot {
+        rng: rng.state().to_vec(),
+        counts: counts.clone(),
+        training: training.to_vec(),
+        rounds: rounds.to_vec(),
+        thresholds: thresholds.to_vec(),
+        // f32 scores travel as raw bits: JSON-proof byte identity.
+        scores: scores.map(|s| s.iter().map(|&(id, v)| (id, v.to_bits())).collect()),
+        eval: eval.cloned(),
+        engine,
+    }
+}
+
+fn record(
+    ckpt: &mut Option<&mut Checkpointer>,
+    step: &str,
+    snapshot: &PipelineSnapshot,
+    classifier: Option<&TextClassifier>,
+    model_dirty: bool,
+) -> Result<(), PipelineError> {
+    if let Some(ck) = ckpt.as_deref_mut() {
+        ck.record_step(step, snapshot, classifier, model_dirty)?;
+    }
+    Ok(())
+}
+
+fn missing_state(what: &str) -> PipelineError {
+    PipelineError::Checkpoint(CheckpointError::Incompatible {
+        detail: format!("checkpoint resume reached a step requiring {what}, but none was restored"),
+    })
+}
+
+/// Rebuilds the featurize-once arena on demand. The CSR buffers are
+/// derivable state and are never persisted; on resume the arena is rebuilt
+/// (an rng-free pure function of corpus + featurizer) and the checkpointed
+/// pass counters are restored — a `documents`/`nnz` mismatch means the
+/// corpus or featurizer differs from the checkpointed run and is refused.
+fn ensure_engine<'a>(
+    engine: &'a mut Option<ScoringEngine>,
+    classifier: &TextClassifier,
+    docs: &[&Document],
+    threads: usize,
+    restored_stats: Option<EngineStats>,
+) -> Result<&'a mut ScoringEngine, PipelineError> {
+    if engine.is_none() {
+        let mut built = ScoringEngine::build(classifier.featurizer(), docs, threads)?;
+        if let Some(saved) = restored_stats {
+            built.restore_stats(saved).map_err(|actual| {
+                PipelineError::Checkpoint(CheckpointError::Incompatible {
+                    detail: format!(
+                        "checkpointed arena shape (documents={}, nnz={}) does not match the \
+                         rebuilt arena (documents={}, nnz={}): corpus or featurizer drifted \
+                         since the checkpoint was written",
+                        saved.documents, saved.nnz, actual.documents, actual.nnz
+                    ),
+                })
+            })?;
+        }
+        *engine = Some(built);
+    }
+    engine
+        .as_mut()
+        .ok_or_else(|| missing_state("a scoring engine"))
+}
+
+/// The single pipeline driver behind both entry points. Steps already
+/// recorded in `ckpt` are skipped; the run state is seeded from `restored`
+/// (the last boundary snapshot) and execution continues with the identical
+/// RNG stream position, so resumed and uninterrupted runs are
+/// byte-identical.
+fn drive(
+    corpus: &Corpus,
+    task: Task,
+    config: &PipelineConfig,
+    mut ckpt: Option<&mut Checkpointer>,
+    restored: Option<(PipelineSnapshot, Option<TextClassifier>)>,
+) -> Result<PipelineOutcome, PipelineError> {
+    let fp = &config.failpoints;
+    let completed = ckpt.as_deref().map_or(0, Checkpointer::completed_steps);
+
     let expert = Annotator::expert("expert");
     let crowd_a = match task {
         Task::Cth => Annotator::crowd_cth("crowd-a"),
@@ -159,29 +484,46 @@ pub fn run_pipeline(
     };
     let crowd_c = crowd_a.clone();
 
-    let mut counts = StageCounts::default();
-
-    // Applicable documents.
+    // Applicable documents (recomputed every run: derivable, rng-free).
     let applicable: Vec<&Document> = corpus
         .documents
         .iter()
         .filter(|d| task.applies_to(d.platform))
         .collect();
-    counts.raw_documents = applicable.len() as u64;
 
-    // Stage 1: bootstrap seeds.
-    let boot = bootstrap(corpus, task, config.max_seeds, &expert, &mut rng);
-    counts.bootstrap_candidates = boot.candidates as u64;
-    counts.seed_annotations = boot.seeds.len() as u64;
+    // Run state: fresh, or the last checkpointed boundary.
+    let (mut rng, mut counts, mut training, mut rounds, mut thresholds, mut scores, mut eval);
+    let mut classifier: Option<TextClassifier>;
+    let restored_engine: Option<EngineStats>;
+    match restored {
+        Some((snap, clf)) => {
+            rng = StdRng::from_state(snap.rng_state()?);
+            counts = snap.counts;
+            training = snap.training;
+            rounds = snap.rounds;
+            thresholds = snap.thresholds;
+            scores = snap.scores.map(|s| {
+                s.into_iter()
+                    .map(|(id, bits)| (id, f32::from_bits(bits)))
+                    .collect::<Vec<(DocId, f32)>>()
+            });
+            eval = snap.eval;
+            classifier = clf;
+            restored_engine = snap.engine;
+        }
+        None => {
+            rng = StdRng::seed_from_u64(config.seed ^ task.slug().len() as u64);
+            counts = StageCounts::default();
+            training = Vec::new();
+            rounds = Vec::new();
+            thresholds = Vec::new();
+            scores = None;
+            eval = None;
+            classifier = None;
+            restored_engine = None;
+        }
+    }
 
-    let mut training: Vec<(DocId, String, bool)> = boot
-        .seeds
-        .iter()
-        .map(|s| (s.id, s.text.clone(), s.label))
-        .collect();
-
-    // Stage 2: initial classifier. Every training text is featurized once,
-    // into the cache, and reused by every retrain below.
     let featurizer_config = FeaturizerConfig {
         max_len: task.text_length(),
         mode: config.feature_mode,
@@ -189,86 +531,259 @@ pub fn run_pipeline(
         seed: config.seed,
         ..Default::default()
     };
+    // The training-feature cache is a pure memo: rebuilt empty on resume,
+    // repopulated deterministically by the dataset calls below.
     let mut cache = FeatureCache::new();
-    let mut classifier = TextClassifier::train_with_cache(
-        training.iter().map(|(id, t, l)| (id.0, t.as_str(), *l)),
-        featurizer_config,
-        config.train,
-        &mut cache,
-    );
+    let mut engine: Option<ScoringEngine> = None;
+    let mut step_idx = 0usize;
 
-    // The featurize-once arena: the applicable corpus is tokenized exactly
-    // one time here; all al_rounds + 1 scoring passes below are spmv.
-    let mut engine = ScoringEngine::build(classifier.featurizer(), &applicable, config.threads)?;
-
-    // Stage 3: active-learning rounds.
-    let mut rounds = Vec::new();
-    for _ in 0..config.al_rounds {
-        let scores = engine.score_all(classifier.model(), config.threads)?;
-        let stats = active_learning_round(
-            corpus,
-            task,
-            &mut classifier,
-            &mut cache,
-            &mut training,
-            &scores,
-            config.per_decile,
-            (&crowd_a, &crowd_b, &crowd_c),
-            config.train,
-            &mut rng,
+    // Step: bootstrap seeds.
+    if step_idx >= completed {
+        counts.raw_documents = applicable.len() as u64;
+        let boot = bootstrap(corpus, task, config.max_seeds, &expert, &mut rng);
+        counts.bootstrap_candidates = boot.candidates as u64;
+        counts.seed_annotations = boot.seeds.len() as u64;
+        training = boot
+            .seeds
+            .iter()
+            .map(|s| (s.id, s.text.clone(), s.label))
+            .collect();
+        let snap = make_snapshot(
+            &rng,
+            &counts,
+            &training,
+            &rounds,
+            &thresholds,
+            None,
+            None,
+            None,
         );
-        counts.crowd_annotations += stats.sampled as u64;
-        rounds.push(stats);
+        record(&mut ckpt, "bootstrap", &snap, None, false)?;
+        fp.check("after-bootstrap")?;
+    }
+    step_idx += 1;
+
+    // Step: initial classifier + the featurize-once arena. Training is
+    // rng-free; on resume the classifier comes back from the model file
+    // instead and the arena is rebuilt lazily when a scoring step needs it.
+    if step_idx >= completed {
+        let clf = TextClassifier::train_with_cache(
+            training.iter().map(|(id, t, l)| (id.0, t.as_str(), *l)),
+            featurizer_config,
+            config.train,
+            &mut cache,
+        );
+        classifier = Some(clf);
+        let clf = classifier
+            .as_ref()
+            .ok_or_else(|| missing_state("a classifier"))?;
+        let e = ensure_engine(
+            &mut engine,
+            clf,
+            &applicable,
+            config.threads,
+            restored_engine,
+        )?;
+        let stats = e.stats();
+        let snap = make_snapshot(
+            &rng,
+            &counts,
+            &training,
+            &rounds,
+            &thresholds,
+            None,
+            None,
+            Some(stats),
+        );
+        // Freshly trained weights — the model section must be rewritten.
+        record(&mut ckpt, "featurize", &snap, classifier.as_ref(), true)?;
+        fp.check("after-featurize")?;
+    }
+    step_idx += 1;
+
+    // Steps: active-learning rounds.
+    for round in 0..config.al_rounds {
+        if step_idx >= completed {
+            let clf = classifier
+                .as_mut()
+                .ok_or_else(|| missing_state("a classifier"))?;
+            let e = ensure_engine(
+                &mut engine,
+                clf,
+                &applicable,
+                config.threads,
+                restored_engine,
+            )?;
+            let round_scores = e.score_all(clf.model(), config.threads)?;
+            let stats = active_learning_round(
+                corpus,
+                task,
+                clf,
+                &mut cache,
+                &mut training,
+                &round_scores,
+                config.per_decile,
+                (&crowd_a, &crowd_b, &crowd_c),
+                config.train,
+                fp,
+                &mut rng,
+            )?;
+            counts.crowd_annotations += stats.sampled as u64;
+            rounds.push(stats);
+            let engine_stats = engine.as_ref().map(ScoringEngine::stats);
+            let snap = make_snapshot(
+                &rng,
+                &counts,
+                &training,
+                &rounds,
+                &thresholds,
+                None,
+                None,
+                engine_stats,
+            );
+            // Each round retrains on the grown ledger — weights changed.
+            record(
+                &mut ckpt,
+                &format!("round-{round}"),
+                &snap,
+                classifier.as_ref(),
+                true,
+            )?;
+            fp.check(&format!("after-round-{round}"))?;
+        }
+        step_idx += 1;
     }
     counts.training_annotations = training.len() as u64;
 
-    // Stage 4: held-out evaluation (Table 3), then final full training.
-    // All features come from the cache — no re-tokenization.
-    let mut shuffled = training.clone();
-    shuffled.shuffle(&mut rng);
-    let eval_n = ((shuffled.len() as f64) * config.eval_fraction).round() as usize;
-    let (eval_split, train_split) = shuffled.split_at(eval_n.min(shuffled.len()));
-    let eval_train_data = cache.dataset(
-        classifier.featurizer(),
-        train_split.iter().map(|(id, t, l)| (id.0, t.as_str(), *l)),
-    );
-    let eval_data = cache.dataset(
-        classifier.featurizer(),
-        eval_split.iter().map(|(id, t, l)| (id.0, t.as_str(), *l)),
-    );
-    let mut eval_model = classifier.clone();
-    eval_model.retrain_features(&eval_train_data, config.train);
-    let eval = eval_model.evaluate_features(&eval_data, 0.5);
-    let full_data = cache.dataset(
-        classifier.featurizer(),
-        training.iter().map(|(id, t, l)| (id.0, t.as_str(), *l)),
-    );
-    classifier.retrain_features(&full_data, config.train);
-
-    // Stage 5: full prediction — one more spmv pass over the arena.
-    let scores = engine.score_all(classifier.model(), config.threads)?;
-    counts.predicted_documents = scores.len() as u64;
-
-    // Stage 6: per-platform thresholds + final expert pass.
-    let mut thresholds = Vec::new();
-    for platform in Platform::ALL {
-        if !task.applies_to(platform) {
-            continue;
-        }
-        let row = select_threshold(
-            corpus,
-            task,
-            platform,
-            &scores,
-            &expert,
-            config.threshold,
-            config.annotation_budget,
-            &mut rng,
+    // Step: held-out evaluation (Table 3), then final full training. All
+    // features come from the cache — no re-tokenization.
+    if step_idx >= completed {
+        let clf = classifier
+            .as_mut()
+            .ok_or_else(|| missing_state("a classifier"))?;
+        let mut shuffled = training.clone();
+        shuffled.shuffle(&mut rng);
+        let eval_n = ((shuffled.len() as f64) * config.eval_fraction).round() as usize;
+        let (eval_split, train_split) = shuffled.split_at(eval_n.min(shuffled.len()));
+        let eval_train_data = cache.dataset(
+            clf.featurizer(),
+            train_split.iter().map(|(id, t, l)| (id.0, t.as_str(), *l)),
         );
-        counts.above_threshold += row.above_threshold as u64;
-        counts.final_annotated += row.annotated as u64;
-        counts.true_positives += row.true_positives as u64;
-        thresholds.push(row);
+        let eval_data = cache.dataset(
+            clf.featurizer(),
+            eval_split.iter().map(|(id, t, l)| (id.0, t.as_str(), *l)),
+        );
+        let mut eval_model = clf.clone();
+        eval_model.retrain_features(&eval_train_data, config.train);
+        eval = Some(eval_model.evaluate_features(&eval_data, 0.5));
+        let full_data = cache.dataset(
+            clf.featurizer(),
+            training.iter().map(|(id, t, l)| (id.0, t.as_str(), *l)),
+        );
+        clf.retrain_features(&full_data, config.train);
+        let engine_stats = engine
+            .as_ref()
+            .map(ScoringEngine::stats)
+            .or(restored_engine);
+        let snap = make_snapshot(
+            &rng,
+            &counts,
+            &training,
+            &rounds,
+            &thresholds,
+            None,
+            eval.as_ref(),
+            engine_stats,
+        );
+        // Eval retrains on the full ledger before measuring — dirty.
+        record(&mut ckpt, "eval", &snap, classifier.as_ref(), true)?;
+        fp.check("after-eval")?;
+    }
+    step_idx += 1;
+
+    // Step: full prediction — one more spmv pass over the arena.
+    if step_idx >= completed {
+        let clf = classifier
+            .as_ref()
+            .ok_or_else(|| missing_state("a classifier"))?;
+        let e = ensure_engine(
+            &mut engine,
+            clf,
+            &applicable,
+            config.threads,
+            restored_engine,
+        )?;
+        let final_scores = e.score_all(clf.model(), config.threads)?;
+        counts.predicted_documents = final_scores.len() as u64;
+        scores = Some(final_scores);
+        let engine_stats = engine.as_ref().map(ScoringEngine::stats);
+        let snap = make_snapshot(
+            &rng,
+            &counts,
+            &training,
+            &rounds,
+            &thresholds,
+            scores.as_ref(),
+            eval.as_ref(),
+            engine_stats,
+        );
+        // Scoring only reads the weights — reuse the eval-step model file.
+        record(&mut ckpt, "score", &snap, classifier.as_ref(), false)?;
+        fp.check("after-score")?;
+    }
+    step_idx += 1;
+
+    // Steps: per-platform thresholds + final expert pass.
+    let platforms: Vec<Platform> = Platform::ALL
+        .into_iter()
+        .filter(|p| task.applies_to(*p))
+        .collect();
+    for (i, platform) in platforms.iter().copied().enumerate() {
+        if step_idx >= completed {
+            if i == 1 {
+                fp.check("mid-threshold-sweep")?;
+            }
+            let all_scores = scores
+                .as_ref()
+                .ok_or_else(|| missing_state("corpus scores"))?;
+            let row = select_threshold(
+                corpus,
+                task,
+                platform,
+                all_scores,
+                &expert,
+                config.threshold,
+                config.annotation_budget,
+                &mut rng,
+            );
+            counts.above_threshold += row.above_threshold as u64;
+            counts.final_annotated += row.annotated as u64;
+            counts.true_positives += row.true_positives as u64;
+            thresholds.push(row);
+            let engine_stats = engine
+                .as_ref()
+                .map(ScoringEngine::stats)
+                .or(restored_engine);
+            let snap = make_snapshot(
+                &rng,
+                &counts,
+                &training,
+                &rounds,
+                &thresholds,
+                scores.as_ref(),
+                eval.as_ref(),
+                engine_stats,
+            );
+            record(
+                &mut ckpt,
+                &format!("threshold-{}", platform.slug()),
+                &snap,
+                classifier.as_ref(),
+                false,
+            )?;
+            fp.check(&format!("after-threshold-{}", platform.slug()))?;
+        }
+        step_idx += 1;
     }
 
     // Table 2 accounting: training labels per platform.
@@ -289,15 +804,20 @@ pub fn run_pipeline(
         }
     }
 
+    let engine_stats = engine
+        .as_ref()
+        .map(ScoringEngine::stats)
+        .or(restored_engine)
+        .ok_or_else(|| missing_state("engine statistics"))?;
     Ok(PipelineOutcome {
         task,
         counts,
         rounds,
         thresholds,
-        eval,
+        eval: eval.ok_or_else(|| missing_state("an evaluation report"))?,
         training_by_platform,
-        scores,
-        engine: engine.stats(),
+        scores: scores.ok_or_else(|| missing_state("corpus scores"))?,
+        engine: engine_stats,
     })
 }
 
@@ -408,5 +928,93 @@ mod tests {
         let serial = score_corpus(&clf, &docs, 1).expect("serial");
         let parallel = score_corpus(&clf, &docs, 4).expect("parallel");
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        let ok = PipelineConfig::quick(1);
+        assert_eq!(ok.validate(), Ok(()));
+
+        let mut bad = PipelineConfig::quick(1);
+        bad.max_seeds = 0;
+        assert_eq!(bad.validate(), Err(ConfigError::EmptySeedQuery));
+
+        let mut bad = PipelineConfig::quick(1);
+        bad.per_decile = 0;
+        assert_eq!(bad.validate(), Err(ConfigError::ZeroPerDecile));
+        // ... unless no rounds run at all.
+        bad.al_rounds = 0;
+        assert_eq!(bad.validate(), Ok(()));
+
+        let mut bad = PipelineConfig::quick(1);
+        bad.annotation_budget = 0;
+        assert_eq!(bad.validate(), Err(ConfigError::ZeroAnnotationBudget));
+
+        let mut bad = PipelineConfig::quick(1);
+        bad.threshold.probe_sample = 0;
+        assert_eq!(bad.validate(), Err(ConfigError::ZeroProbeSample));
+
+        let mut bad = PipelineConfig::quick(1);
+        bad.eval_fraction = 1.0;
+        assert!(matches!(
+            bad.validate(),
+            Err(ConfigError::BadEvalFraction(_))
+        ));
+    }
+
+    #[test]
+    fn run_pipeline_refuses_degenerate_config() {
+        let corpus = corpus();
+        let mut config = PipelineConfig::quick(1);
+        config.per_decile = 0;
+        match run_pipeline(&corpus, Task::Dox, &config) {
+            Err(PipelineError::Config(ConfigError::ZeroPerDecile)) => {}
+            other => panic!("expected config rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_outcome_shaping_fields_only() {
+        let a = PipelineConfig::quick(1);
+        let mut b = PipelineConfig::quick(1);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Threads never change the outcome; the fingerprint ignores them.
+        b.threads = 16;
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.seed = 2;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = PipelineConfig::quick(1);
+        c.hash_bits = 16;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_outcomes_and_digests() {
+        let corpus = corpus();
+        let a = run(&corpus, Task::Dox, &PipelineConfig::quick(5));
+        let b = run(&corpus, Task::Dox, &PipelineConfig::quick(5));
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+        let c = run(&corpus, Task::Dox, &PipelineConfig::quick(7));
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn resumable_run_in_fresh_dir_matches_plain_run() {
+        let corpus = corpus();
+        let config = PipelineConfig::quick(8);
+        let plain = run(&corpus, Task::Dox, &config);
+        let dir =
+            std::env::temp_dir().join(format!("incite-pipeline-resumable-{}", std::process::id()));
+        crate::checkpoint::clear_run_dir(&dir).expect("clear");
+        let resumable =
+            run_pipeline_resumable(&corpus, Task::Dox, &config, &dir).expect("resumable");
+        assert_eq!(plain, resumable);
+        assert_eq!(plain.digest(), resumable.digest());
+        // A second invocation resumes from the final checkpoint and must
+        // reproduce the outcome without recomputing the run.
+        let replayed = run_pipeline_resumable(&corpus, Task::Dox, &config, &dir).expect("replayed");
+        assert_eq!(plain, replayed);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

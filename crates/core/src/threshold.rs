@@ -14,7 +14,7 @@ use incite_corpus::{Corpus, DocId};
 use incite_taxonomy::Platform;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Parameters for the threshold search.
@@ -43,7 +43,7 @@ impl Default for ThresholdConfig {
 }
 
 /// The outcome for one platform (a Table 4 row).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlatformThreshold {
     pub platform: Platform,
     pub threshold: f64,
@@ -86,6 +86,13 @@ fn probe_precision(
     let mut pool: Vec<DocId> = ids_above.to_vec();
     pool.shuffle(rng);
     pool.truncate(sample);
+    // `sample == 0` (a degenerate `probe_sample`) used to fall through to
+    // `0 / 0.0` and return NaN, which silently satisfied neither branch of
+    // the threshold search. An empty probe estimates nothing: report zero
+    // precision instead.
+    if pool.is_empty() {
+        return 0.0;
+    }
     let positive = pool
         .iter()
         .filter(|id| expert.annotate(*truth.get(id).unwrap_or(&false), rng))

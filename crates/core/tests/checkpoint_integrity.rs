@@ -1,0 +1,149 @@
+//! Checkpoint integrity under corruption (satellite of DESIGN.md §12).
+//!
+//! The resume contract is "verified state or typed refusal": a single
+//! flipped byte in any persisted file — model weights or the manifest
+//! itself — must surface as a hash-mismatch [`CheckpointError`], never a
+//! panic and never a silent resume from damaged state. After
+//! [`clear_run_dir`] (the CLI's `--force`), a fresh run succeeds in the
+//! same directory. These tests need no cargo feature: they corrupt real
+//! files, not failpoints.
+
+use incite_core::pipeline::PipelineError;
+use incite_core::{clear_run_dir, run_pipeline_resumable, CheckpointError, PipelineConfig, Task};
+use incite_corpus::{generate, Corpus, CorpusConfig};
+use std::path::{Path, PathBuf};
+
+fn corpus() -> Corpus {
+    generate(&CorpusConfig::tiny(404))
+}
+
+fn run_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("incite-integrity-{tag}-{}", std::process::id()))
+}
+
+/// Completes a checkpointed run, leaving a full run directory behind.
+fn checkpointed_run(dir: &Path, config: &PipelineConfig) {
+    clear_run_dir(dir).expect("clean run dir");
+    run_pipeline_resumable(&corpus(), Task::Dox, config, dir).expect("initial run");
+}
+
+fn find_file(dir: &Path, suffix: &str) -> PathBuf {
+    let mut names: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("read run dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(suffix))
+        })
+        .collect();
+    names.sort();
+    names
+        .pop()
+        .unwrap_or_else(|| panic!("no {suffix} file in {}", dir.display()))
+}
+
+fn flip_byte(path: &Path, offset: usize) {
+    let mut raw = std::fs::read(path).expect("read file");
+    let at = offset.min(raw.len() - 1);
+    raw[at] ^= 0x01;
+    std::fs::write(path, &raw).expect("write corrupted file");
+}
+
+fn expect_integrity_refusal(result: Result<impl std::fmt::Debug, PipelineError>, what: &str) {
+    match result {
+        Err(PipelineError::Checkpoint(
+            CheckpointError::HashMismatch { .. } | CheckpointError::Corrupt { .. },
+        )) => {}
+        other => panic!("{what}: expected integrity refusal, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupt_weights_file_refuses_resume() {
+    let config = PipelineConfig::quick(21);
+    let dir = run_dir("weights");
+    checkpointed_run(&dir, &config);
+
+    let model = find_file(&dir, ".model.ckpt");
+    flip_byte(&model, 100);
+    expect_integrity_refusal(
+        run_pipeline_resumable(&corpus(), Task::Dox, &config, &dir),
+        "corrupt weights",
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_manifest_refuses_resume() {
+    let config = PipelineConfig::quick(22);
+    let dir = run_dir("manifest");
+    checkpointed_run(&dir, &config);
+
+    flip_byte(&dir.join("MANIFEST.ckpt"), 50);
+    expect_integrity_refusal(
+        run_pipeline_resumable(&corpus(), Task::Dox, &config, &dir),
+        "corrupt manifest",
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_ledger_section_refuses_resume() {
+    let config = PipelineConfig::quick(23);
+    let dir = run_dir("ledger");
+    checkpointed_run(&dir, &config);
+
+    let ledger = find_file(&dir, ".ledger.ckpt");
+    flip_byte(&ledger, 200);
+    expect_integrity_refusal(
+        run_pipeline_resumable(&corpus(), Task::Dox, &config, &dir),
+        "corrupt annotation ledger",
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The `--force` path: after corruption is detected, clearing the run
+/// directory lets a fresh run succeed in the same location — and produce
+/// the same outcome as an untouched directory would.
+#[test]
+fn force_clear_recovers_after_corruption() {
+    let config = PipelineConfig::quick(24);
+    let dir = run_dir("force");
+    checkpointed_run(&dir, &config);
+    let corpus = corpus();
+    let reference = run_pipeline_resumable(&corpus, Task::Dox, &config, &dir).expect("reference");
+
+    flip_byte(&dir.join("MANIFEST.ckpt"), 50);
+    expect_integrity_refusal(
+        run_pipeline_resumable(&corpus, Task::Dox, &config, &dir),
+        "corrupt manifest before --force",
+    );
+
+    clear_run_dir(&dir).expect("force clear");
+    let fresh = run_pipeline_resumable(&corpus, Task::Dox, &config, &dir).expect("fresh run");
+    assert_eq!(fresh, reference);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A run directory checkpointed under one config must not silently serve
+/// a different one.
+#[test]
+fn different_config_is_refused_not_reused() {
+    let config = PipelineConfig::quick(25);
+    let dir = run_dir("config-drift");
+    checkpointed_run(&dir, &config);
+
+    let mut drifted = PipelineConfig::quick(25);
+    drifted.hash_bits = 14;
+    match run_pipeline_resumable(&corpus(), Task::Dox, &drifted, &dir) {
+        Err(PipelineError::Checkpoint(CheckpointError::Incompatible { .. })) => {}
+        other => panic!("expected Incompatible, got {other:?}"),
+    }
+    // Same directory, wrong task: also refused.
+    match run_pipeline_resumable(&corpus(), Task::Cth, &config, &dir) {
+        Err(PipelineError::Checkpoint(CheckpointError::Incompatible { .. })) => {}
+        other => panic!("expected Incompatible, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -3,9 +3,94 @@
 //! The third-party crawlers in the paper deliver line-oriented records; this
 //! module provides the same interchange shape so generated corpora can be
 //! persisted, diffed and re-loaded without regeneration.
+//!
+//! Real crawler output is dirty: truncated final lines from interrupted
+//! transfers, mojibake from mis-declared encodings, half-written records.
+//! [`read_jsonl_quarantine`] is the production loader — one bad record
+//! never aborts the load; each is counted by failure kind in a
+//! [`QuarantineStats`] and the first offender is kept for diagnostics.
+//! [`read_jsonl`] is the strict variant (any bad line is a typed
+//! [`JsonlError`]) for tests and pipelines that demand a pristine corpus.
 
 use crate::document::Document;
+use std::fmt;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+/// A typed failure from the strict JSONL reader.
+#[derive(Debug)]
+pub enum JsonlError {
+    /// The underlying stream failed; nothing line-level can recover this.
+    Io(io::Error),
+    /// A line is not valid UTF-8.
+    NonUtf8 { line: usize },
+    /// A line is not a valid document record.
+    Malformed { line: usize, detail: String },
+    /// The final line ended without a newline mid-record (interrupted
+    /// transfer) and does not parse.
+    Truncated { line: usize },
+}
+
+impl fmt::Display for JsonlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonlError::Io(e) => write!(f, "jsonl read failed: {e}"),
+            JsonlError::NonUtf8 { line } => write!(f, "line {line}: not valid UTF-8"),
+            JsonlError::Malformed { line, detail } => write!(f, "line {line}: {detail}"),
+            JsonlError::Truncated { line } => {
+                write!(f, "line {line}: truncated record (missing final newline)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JsonlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JsonlError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<JsonlError> for io::Error {
+    fn from(e: JsonlError) -> Self {
+        match e {
+            JsonlError::Io(e) => e,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+/// Per-kind counts of records the lossy loader refused.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuarantineStats {
+    /// Lines that are valid UTF-8 but not a document record.
+    pub malformed: usize,
+    /// Lines that are not valid UTF-8.
+    pub non_utf8: usize,
+    /// An unparseable final line with no trailing newline.
+    pub truncated: usize,
+    /// The first refused line, for diagnostics: (line number, reason).
+    pub first_error: Option<(usize, String)>,
+}
+
+impl QuarantineStats {
+    /// Total quarantined lines.
+    pub fn quarantined(&self) -> usize {
+        self.malformed + self.non_utf8 + self.truncated
+    }
+
+    fn record(&mut self, line: usize, error: &JsonlError) {
+        match error {
+            JsonlError::NonUtf8 { .. } => self.non_utf8 += 1,
+            JsonlError::Truncated { .. } => self.truncated += 1,
+            _ => self.malformed += 1,
+        }
+        if self.first_error.is_none() {
+            self.first_error = Some((line, error.to_string()));
+        }
+    }
+}
 
 /// Writes documents as one JSON object per line.
 pub fn write_jsonl<W: Write>(writer: W, docs: &[Document]) -> io::Result<()> {
@@ -18,24 +103,90 @@ pub fn write_jsonl<W: Write>(writer: W, docs: &[Document]) -> io::Result<()> {
     w.flush()
 }
 
-/// Reads documents from a JSONL stream. Blank lines are skipped; a malformed
-/// line aborts with an error naming its line number.
-pub fn read_jsonl<R: Read>(reader: R) -> io::Result<Vec<Document>> {
-    let mut docs = Vec::new();
-    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let doc: Document = serde_json::from_str(&line).map_err(|e| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("line {}: {e}", lineno + 1),
-            )
-        })?;
-        docs.push(doc);
+/// Classifies and parses one raw line. `has_newline` distinguishes a bad
+/// final record of an interrupted transfer from an ordinary malformed line.
+fn parse_line(
+    raw: &[u8],
+    lineno: usize,
+    has_newline: bool,
+) -> Result<Option<Document>, JsonlError> {
+    let Ok(text) = std::str::from_utf8(raw) else {
+        return Err(JsonlError::NonUtf8 { line: lineno });
+    };
+    if text.trim().is_empty() {
+        return Ok(None);
     }
+    match serde_json::from_str::<Document>(text) {
+        Ok(doc) => Ok(Some(doc)),
+        Err(_) if !has_newline => Err(JsonlError::Truncated { line: lineno }),
+        Err(e) => Err(JsonlError::Malformed {
+            line: lineno,
+            detail: e.to_string(),
+        }),
+    }
+}
+
+/// Byte-level line iteration shared by both readers. Calls `sink` per line;
+/// a `sink` error aborts (strict mode), `Ok(())` continues.
+fn for_each_line<R: Read>(
+    reader: R,
+    mut sink: impl FnMut(&[u8], usize, bool) -> Result<(), JsonlError>,
+) -> Result<(), JsonlError> {
+    let mut reader = BufReader::new(reader);
+    let mut raw = Vec::new();
+    let mut lineno = 0;
+    loop {
+        raw.clear();
+        let n = reader.read_until(b'\n', &mut raw).map_err(JsonlError::Io)?;
+        if n == 0 {
+            return Ok(());
+        }
+        lineno += 1;
+        let has_newline = raw.last() == Some(&b'\n');
+        let line = if has_newline {
+            &raw[..raw.len() - 1]
+        } else {
+            &raw[..]
+        };
+        // Tolerate CRLF crawler output.
+        let line = line.strip_suffix(b"\r").unwrap_or(line);
+        sink(line, lineno, has_newline)?;
+    }
+}
+
+/// Reads documents from a JSONL stream, strictly: blank lines are skipped
+/// and the first malformed, non-UTF-8, or truncated line aborts with a
+/// typed [`JsonlError`] naming its line number.
+pub fn read_jsonl<R: Read>(reader: R) -> Result<Vec<Document>, JsonlError> {
+    let mut docs = Vec::new();
+    for_each_line(reader, |raw, lineno, has_newline| {
+        if let Some(doc) = parse_line(raw, lineno, has_newline)? {
+            docs.push(doc);
+        }
+        Ok(())
+    })?;
     Ok(docs)
+}
+
+/// Reads documents from a JSONL stream, quarantining bad records instead of
+/// aborting: every malformed, non-UTF-8, or truncated line is counted in
+/// the returned [`QuarantineStats`] and skipped. Only a failure of the
+/// underlying stream itself is an error.
+pub fn read_jsonl_quarantine<R: Read>(
+    reader: R,
+) -> Result<(Vec<Document>, QuarantineStats), JsonlError> {
+    let mut docs = Vec::new();
+    let mut stats = QuarantineStats::default();
+    for_each_line(reader, |raw, lineno, has_newline| {
+        match parse_line(raw, lineno, has_newline) {
+            Ok(Some(doc)) => docs.push(doc),
+            Ok(None) => {}
+            Err(JsonlError::Io(e)) => return Err(JsonlError::Io(e)),
+            Err(e) => stats.record(lineno, &e),
+        }
+        Ok(())
+    })?;
+    Ok((docs, stats))
 }
 
 #[cfg(test)]
@@ -73,11 +224,73 @@ mod tests {
         let data = b"{\"not\": \"a document\"}\n";
         let err = read_jsonl(&data[..]).unwrap_err();
         assert!(err.to_string().contains("line 1"));
+        assert!(matches!(err, JsonlError::Malformed { line: 1, .. }));
     }
 
     #[test]
     fn empty_input_is_empty_corpus() {
         let docs = read_jsonl(&b""[..]).unwrap();
         assert!(docs.is_empty());
+    }
+
+    /// Crawler-shaped dirt: a good record, a malformed record, a non-UTF-8
+    /// record, another good record, and a truncated final record. The
+    /// quarantine loader keeps both good documents and counts each failure
+    /// under its own kind.
+    #[test]
+    fn quarantine_loader_survives_dirty_input() {
+        let corpus = generate(&CorpusConfig::tiny(5));
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &corpus.documents[..1]).unwrap();
+        buf.extend_from_slice(b"{\"not\": \"a document\"}\n");
+        buf.extend_from_slice(b"\xff\xfe broken encoding \xff\n");
+        write_jsonl(&mut buf, &corpus.documents[1..2]).unwrap();
+        let mut tail = Vec::new();
+        write_jsonl(&mut tail, &corpus.documents[2..3]).unwrap();
+        buf.extend_from_slice(&tail[..tail.len() / 2]); // cut mid-record, no newline
+
+        let (docs, stats) = read_jsonl_quarantine(buf.as_slice()).unwrap();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[0].id, corpus.documents[0].id);
+        assert_eq!(docs[1].id, corpus.documents[1].id);
+        assert_eq!(stats.malformed, 1);
+        assert_eq!(stats.non_utf8, 1);
+        assert_eq!(stats.truncated, 1);
+        assert_eq!(stats.quarantined(), 3);
+        let (line, reason) = stats.first_error.clone().unwrap();
+        assert_eq!(line, 2);
+        assert!(reason.contains("line 2"), "{reason}");
+    }
+
+    #[test]
+    fn strict_loader_types_non_utf8_and_truncation() {
+        let err = read_jsonl(&b"\xff\xfe\n"[..]).unwrap_err();
+        assert!(matches!(err, JsonlError::NonUtf8 { line: 1 }));
+
+        let err = read_jsonl(&b"{\"id\": 3, \"te"[..]).unwrap_err();
+        assert!(matches!(err, JsonlError::Truncated { line: 1 }));
+    }
+
+    #[test]
+    fn clean_input_quarantines_nothing() {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &corpus.documents).unwrap();
+        let (docs, stats) = read_jsonl_quarantine(buf.as_slice()).unwrap();
+        assert_eq!(docs.len(), corpus.len());
+        assert_eq!(stats, QuarantineStats::default());
+    }
+
+    #[test]
+    fn crlf_lines_parse() {
+        let corpus = generate(&CorpusConfig::tiny(5));
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &corpus.documents[..2]).unwrap();
+        let crlf: Vec<u8> = String::from_utf8(buf)
+            .unwrap()
+            .replace('\n', "\r\n")
+            .into_bytes();
+        let back = read_jsonl(crlf.as_slice()).unwrap();
+        assert_eq!(back.len(), 2);
     }
 }

@@ -83,6 +83,12 @@ pub const CATALOG: &[RuleInfo] = &[
                   (10 attack parents, 28+1 subcategories, 9 PII families / 12 \
                   expressions, 6 platforms / 5 data sets)",
     },
+    RuleInfo {
+        id: "INC006",
+        summary: "no raw file writes (File::create, fs::write, OpenOptions) in \
+                  library code outside checkpoint::atomic_io — all persisted \
+                  state must go through the atomic write-rename + hash funnel",
+    },
 ];
 
 /// Crates whose library code must be panic-free (INC001).
@@ -117,6 +123,17 @@ fn in_scope_inc004(path: &str) -> bool {
     path == "crates/regexlite/src/vm.rs"
 }
 
+fn in_scope_inc006(path: &str) -> bool {
+    // The crash-recovery contract (DESIGN.md §12): every persisted file
+    // goes through `checkpoint::atomic_io`, the one module allowed to
+    // open files for writing. The bench harness writes reports and the
+    // linter rewrites its own baseline; neither holds pipeline state.
+    if path == "crates/core/src/checkpoint/atomic_io.rs" {
+        return false;
+    }
+    crate_of(path).is_some_and(|c| c != "bench" && c != "lint")
+}
+
 fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
@@ -144,7 +161,8 @@ pub fn scan_file(path: &str, masked: &MaskedFile) -> Vec<Finding> {
     let inc002 = in_scope_inc002(path);
     let inc003 = in_scope_inc003(path);
     let inc004 = in_scope_inc004(path);
-    if !(inc001 || inc002 || inc003 || inc004) {
+    let inc006 = in_scope_inc006(path);
+    if !(inc001 || inc002 || inc003 || inc004 || inc006) {
         return findings;
     }
 
@@ -212,6 +230,24 @@ pub fn scan_file(path: &str, masked: &MaskedFile) -> Vec<Finding> {
                         push(
                             "INC003",
                             format!("float `{op}` comparison (use an epsilon or total ordering)"),
+                        );
+                    }
+                }
+            }
+        }
+
+        if inc006 && !in_tests {
+            // Tests stage fixtures and corrupt checkpoint bytes on purpose;
+            // library code must route every write through the funnel.
+            for needle in ["File::create", "fs::write", "OpenOptions"] {
+                for at in occurrences(line, needle) {
+                    if word_start_at(line.as_bytes(), at) {
+                        push(
+                            "INC006",
+                            format!(
+                                "raw file write `{needle}` outside checkpoint::atomic_io \
+                                 (use write_atomic/write_hashed)"
+                            ),
                         );
                     }
                 }
@@ -392,6 +428,42 @@ mod tests {
     fn inc004_ignores_attributes_macros_types_and_borrows() {
         let src = "#[derive(Debug)]\nlet v = vec![1];\nlet t: [u8; 4] = x;\nlet s: &[u8] = y;\n";
         assert!(scan("crates/regexlite/src/vm.rs", src).is_empty());
+    }
+
+    #[test]
+    fn inc006_flags_raw_file_writes_in_library_code() {
+        for src in [
+            "let f = std::fs::File::create(&path)?;\n",
+            "std::fs::write(&path, bytes)?;\n",
+            "let f = OpenOptions::new().append(true).open(&path)?;\n",
+        ] {
+            let f = scan("crates/core/src/pipeline.rs", src);
+            assert_eq!(f.len(), 1, "missed in {src:?}");
+            assert_eq!(f[0].rule, "INC006");
+        }
+        // Applies to every library crate, not just core.
+        assert_eq!(
+            scan("crates/ml/src/persist.rs", "std::fs::write(p, b)?;\n").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn inc006_exempts_the_funnel_tests_and_harness_crates() {
+        let write = "let f = std::fs::File::create(&tmp)?;\n";
+        // The one module allowed to open files for writing.
+        assert!(scan("crates/core/src/checkpoint/atomic_io.rs", write).is_empty());
+        // Test regions stage fixtures and corrupt bytes on purpose.
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n    fn t() { std::fs::write(p, b).unwrap(); }\n}\n";
+        assert!(scan("crates/corpus/src/jsonl.rs", test_src)
+            .iter()
+            .all(|f| f.rule != "INC006"));
+        // Bench reports and the linter's own baseline are not pipeline state.
+        assert!(scan("crates/bench/src/bin/repro.rs", write).is_empty());
+        assert!(scan("crates/lint/src/main.rs", write).is_empty());
+        // tests/ directories are out of scope by construction.
+        assert!(scan("crates/core/tests/it.rs", write).is_empty());
     }
 
     #[test]

@@ -38,5 +38,5 @@ pub use grid::{grid_search, GridPoint, GridResult};
 pub use logreg::{LogisticRegression, TrainConfig};
 pub use model::TextClassifier;
 pub use naive_bayes::NaiveBayes;
-pub use persist::{load_model, save_model, PersistError};
+pub use persist::{load_model, load_model_bin, save_model, save_model_bin, PersistError};
 pub use sparse::SparseVec;

@@ -170,7 +170,7 @@ impl TextClassifier {
 }
 
 /// Evaluation output: confusion counts, Table 3 metrics, AUC.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct EvalReport {
     pub confusion: BinaryConfusion,
     pub metrics: MultiMetrics,

@@ -4,8 +4,10 @@
 //! averages; §5.4 tunes hyperparameters "for better AUC-ROC scores". Both
 //! live here.
 
+use serde::{Deserialize, Serialize};
+
 /// Binary confusion counts.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BinaryConfusion {
     pub true_positive: u64,
     pub false_positive: u64,
@@ -14,7 +16,7 @@ pub struct BinaryConfusion {
 }
 
 /// Precision / recall / F1 for one label.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PrfScores {
     pub precision: f64,
     pub recall: f64,
@@ -126,7 +128,7 @@ fn prf(tp: u64, fp: u64, fn_: u64) -> PrfScores {
 }
 
 /// The four Table 3 rows for one classifier.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MultiMetrics {
     pub positive: PrfScores,
     pub negative: PrfScores,

@@ -243,6 +243,31 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state words (vendored extension).
+        ///
+        /// Upstream `rand` deliberately hides generator internals; this
+        /// workspace's checkpoint subsystem needs to persist and restore
+        /// the exact stream position across process restarts, so the
+        /// vendored build exposes the four state words. Restoring via
+        /// [`StdRng::from_state`] continues the stream bit-for-bit.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from [`StdRng::state`] words (vendored
+        /// extension). An all-zero state is a xoshiro fixed point and is
+        /// nudged exactly like [`SeedableRng::from_seed`] does.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0, 0, 0, 0] {
+                return StdRng {
+                    s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3],
+                };
+            }
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]

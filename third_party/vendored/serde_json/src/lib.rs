@@ -88,12 +88,20 @@ pub fn to_writer_pretty<W: Write, T: serde::Serialize + ?Sized>(
 }
 
 fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    use fmt::Write as _;
     match v {
         Value::Null => out.push_str("null"),
         Value::Bool(true) => out.push_str("true"),
         Value::Bool(false) => out.push_str("false"),
-        Value::Int(i) => out.push_str(&i.to_string()),
-        Value::UInt(u) => out.push_str(&u.to_string()),
+        // `write!` formats straight into the output buffer; `to_string`
+        // here would allocate once per numeric node, which dominates on
+        // number-heavy payloads (model weights, score tables).
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
         Value::Float(f) => write_float(out, *f),
         Value::Str(s) => write_escaped(out, s),
         Value::Array(items) => {
@@ -142,11 +150,13 @@ fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
 }
 
 fn write_float(out: &mut String, f: f64) {
+    use fmt::Write as _;
     if f.is_finite() {
-        let s = f.to_string();
-        out.push_str(&s);
+        let before = out.len();
+        let _ = write!(out, "{f}");
         // Keep a float-shaped token so the value round-trips as a float.
-        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        let token = &out[before..];
+        if !token.contains('.') && !token.contains('e') && !token.contains('E') {
             out.push_str(".0");
         }
     } else {
@@ -156,22 +166,32 @@ fn write_float(out: &mut String, f: f64) {
 }
 
 fn write_escaped(out: &mut String, s: &str) {
+    use fmt::Write as _;
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            '\u{08}' => out.push_str("\\b"),
-            '\u{0C}' => out.push_str("\\f"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+    // Copy maximal runs of characters that need no escaping in one
+    // `push_str` instead of walking char by char — string-heavy payloads
+    // (ledgers, vocabularies) are almost entirely such runs.
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'"' || b == b'\\' || b < 0x20 {
+            out.push_str(&s[start..i]);
+            match b {
+                b'"' => out.push_str("\\\""),
+                b'\\' => out.push_str("\\\\"),
+                b'\n' => out.push_str("\\n"),
+                b'\r' => out.push_str("\\r"),
+                b'\t' => out.push_str("\\t"),
+                0x08 => out.push_str("\\b"),
+                0x0C => out.push_str("\\f"),
+                _ => {
+                    let _ = write!(out, "\\u{:04x}", b as u32);
+                }
             }
-            c => out.push(c),
+            start = i + 1;
         }
     }
+    out.push_str(&s[start..]);
     out.push('"');
 }
 
