@@ -57,6 +57,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "Plain vs checkpointed resumable pipeline (BENCH line)",
     ),
     (
+        "serve_latency",
+        "Online inference service loopback load test (BENCH line)",
+    ),
+    (
         "extension_attack_types",
         "\u{a7}9.2 extension: per-attack-type classifiers",
     ),
@@ -95,6 +99,7 @@ pub fn run_experiment(id: &str, ctx: &mut ReproContext) -> Option<String> {
         "ablations" => crate::ablations::run(ctx),
         "score_throughput" => crate::throughput::run(ctx),
         "checkpoint_overhead" => crate::checkpoint_overhead::run(ctx),
+        "serve_latency" => crate::serve_latency::run(ctx),
         "extension_attack_types" => extension_attack_types(ctx),
         "extension_longitudinal" => extension_longitudinal(ctx),
         _ => return None,

@@ -10,15 +10,20 @@
 
 use incite_core::checkpoint::atomic_io::write_atomic;
 use incite_core::checkpoint::Resume;
-use incite_core::{clear_run_dir, run_pipeline_resumable, Checkpointer, PipelineConfig, Task};
+use incite_core::{
+    clear_run_dir, load_latest_classifier, run_pipeline_resumable, Checkpointer, PipelineConfig,
+    Task,
+};
 use incite_corpus::jsonl::{self, QuarantineStats};
 use incite_corpus::{Corpus, CorpusConfig};
 use incite_ml::{
     load_model, save_model, FeatureMode, FeaturizerConfig, TextClassifier, TrainConfig,
 };
 use incite_pii::{infer_gender, redact, PiiExtractor};
+use incite_serve::{ServeConfig, Server};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
+use std::time::Duration;
 
 /// CLI errors, printable to stderr.
 #[derive(Debug)]
@@ -61,6 +66,12 @@ commands:
           killed run resumes from its last completed step and finishes
           with a byte-identical outcome. `--force true` discards any
           existing checkpoints in DIR first.
+  serve   --run-dir DIR [--addr HOST:PORT] [--threads N]
+          [--queue-depth Q] [--max-batch B] [--deadline-ms MS]
+          serve the latest classifier checkpointed in run directory DIR
+          over HTTP: POST /v1/score, POST /v1/redact, GET /healthz,
+          GET /metrics. SIGTERM / ctrl-c drains in-flight requests and
+          exits 0. Defaults: 127.0.0.1:7878, queue depth 256.
   score   --model MODEL.json [--input FILE] [--threshold T]
           score one text per input line; prints `score<TAB>text`
   pii     [--input FILE]
@@ -270,6 +281,72 @@ pub fn run(command: &str, args: &[String], out: &mut dyn Write) -> Result<(), Cl
                     row.precision()
                 )
                 .map_err(|e| err(e.to_string()))?;
+            }
+            Ok(())
+        }
+        "serve" => {
+            let run_dir = flags.get("run-dir").ok_or_else(|| {
+                err("serve requires --run-dir DIR (a checkpointed run directory)")
+            })?;
+            let mut config = ServeConfig::default();
+            if let Some(addr) = flags.get("addr") {
+                config.addr = addr.clone();
+            }
+            let parse_usize = |key: &str| -> Result<Option<usize>, CliError> {
+                flags
+                    .get(key)
+                    .map(|s| {
+                        s.parse()
+                            .map_err(|_| err(format!("--{key} takes a number")))
+                    })
+                    .transpose()
+            };
+            if let Some(n) = parse_usize("threads")? {
+                config.threads = n;
+            }
+            if let Some(q) = parse_usize("queue-depth")? {
+                config.queue_depth = q;
+            }
+            if let Some(b) = parse_usize("max-batch")? {
+                config.max_batch = b;
+            }
+            if let Some(ms) = parse_usize("deadline-ms")? {
+                config.deadline = Duration::from_millis(ms as u64);
+            }
+
+            // Load and verify the model BEFORE binding the port: a damaged
+            // run directory is a typed refusal with nothing listening — no
+            // partially-initialized server.
+            let classifier = load_latest_classifier(Path::new(run_dir))
+                .map_err(|e| err(format!("cannot serve from {run_dir}: {e}")))?;
+
+            incite_serve::signal::install();
+            let handle = Server::start(classifier, config).map_err(|e| err(e.to_string()))?;
+            writeln!(
+                out,
+                "incite-serve listening on http://{} (run dir: {run_dir}); \
+                 SIGTERM or ctrl-c drains and exits",
+                handle.local_addr()
+            )
+            .map_err(|e| err(e.to_string()))?;
+            out.flush().map_err(|e| err(e.to_string()))?;
+
+            let report = handle.run_until(incite_serve::signal::shutdown_flag());
+            writeln!(
+                out,
+                "drained: {} request(s) answered, {} document(s) scored, \
+                 {} rejected for overload, {} stuck connection(s)",
+                report.requests_total,
+                report.documents_scored,
+                report.rejected_overload,
+                report.stuck_connections
+            )
+            .map_err(|e| err(e.to_string()))?;
+            if report.panicked_threads > 0 {
+                return Err(err(format!(
+                    "{} server thread(s) panicked during drain",
+                    report.panicked_threads
+                )));
             }
             Ok(())
         }
@@ -538,6 +615,56 @@ mod tests {
         assert!(text.contains("quarantined 2 corpus line(s)"), "{text}");
         assert!(text.contains("trained cth model"), "{text}");
         assert!(model_path.exists());
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn serve_refuses_bad_boot_without_binding() -> TestResult {
+        let mut out = Vec::new();
+        // Missing --run-dir.
+        let Err(e) = run("serve", &[], &mut out) else {
+            return Err(err("serve without --run-dir unexpectedly succeeded"));
+        };
+        assert!(e.0.contains("--run-dir"), "{e}");
+
+        // Nonexistent run directory: typed refusal before any bind.
+        let Err(e) = run(
+            "serve",
+            &flags(&[("run-dir", "/nonexistent-run-dir"), ("addr", "127.0.0.1:0")]),
+            &mut out,
+        ) else {
+            return Err(err("serve on missing run dir unexpectedly succeeded"));
+        };
+        assert!(e.0.contains("not a run directory"), "{e}");
+
+        // Bad numeric flag.
+        let Err(e) = run(
+            "serve",
+            &flags(&[("run-dir", "/tmp"), ("threads", "many")]),
+            &mut out,
+        ) else {
+            return Err(err("serve with bad --threads unexpectedly succeeded"));
+        };
+        assert!(e.0.contains("--threads takes a number"), "{e}");
+        assert!(out.is_empty(), "no listening line may be printed: {out:?}");
+        Ok(())
+    }
+
+    #[test]
+    fn serve_refuses_directory_without_model_step() -> TestResult {
+        // A directory that exists but was never a run directory.
+        let dir = std::env::temp_dir().join(format!("incite-cli-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir)?;
+        let mut out = Vec::new();
+        let Err(e) = run(
+            "serve",
+            &flags(&[("run-dir", path_str(&dir)?), ("addr", "127.0.0.1:0")]),
+            &mut out,
+        ) else {
+            return Err(err("serve on empty dir unexpectedly succeeded"));
+        };
+        assert!(e.0.contains("not a run directory"), "{e}");
         std::fs::remove_dir_all(&dir).ok();
         Ok(())
     }

@@ -728,6 +728,65 @@ fn parse_json<T: serde::Deserialize>(
     })
 }
 
+/// Loads the classifier recorded at the most recent step of a run
+/// directory, without binding to a task or config fingerprint — the
+/// online serving boot path (`incite serve --run-dir DIR`).
+///
+/// The manifest footer, schema version, and the model section's recorded
+/// hash and size are all verified before the artifact is decoded, so a
+/// damaged or truncated run directory is a typed refusal — never a
+/// partially-initialized server. Unlike [`Checkpointer::open`] it does
+/// not re-verify every section file: serving only needs the weights, and
+/// the ledger/scores sections may be arbitrarily large.
+pub fn load_latest_classifier(root: &Path) -> Result<TextClassifier, CheckpointError> {
+    let manifest_path = root.join(MANIFEST_FILE);
+    if !manifest_path.exists() {
+        return Err(CheckpointError::Incompatible {
+            detail: format!(
+                "{} has no {MANIFEST_FILE} — not a run directory (create one with \
+                 `incite run --resume DIR`)",
+                root.display()
+            ),
+        });
+    }
+    let payload = atomic_io::read_hashed(&manifest_path)?;
+    let manifest: Manifest = parse_json(&manifest_path, &payload, "manifest")?;
+    if manifest.version != MANIFEST_VERSION {
+        return Err(CheckpointError::Incompatible {
+            detail: format!(
+                "manifest version {} (supported: {MANIFEST_VERSION})",
+                manifest.version
+            ),
+        });
+    }
+    let record = manifest
+        .steps
+        .iter()
+        .rev()
+        .flat_map(|step| step.files.iter())
+        .find(|file| file.name.ends_with(".model.ckpt"))
+        .ok_or_else(|| CheckpointError::Incompatible {
+            detail: format!(
+                "run in {} has no model checkpoint yet (no training step completed)",
+                root.display()
+            ),
+        })?;
+    let path = root.join(&record.name);
+    let payload = atomic_io::read_hashed(&path)?;
+    let actual = atomic_io::fnv64_hex(&payload);
+    if actual != record.hash || payload.len() as u64 != record.bytes {
+        return Err(CheckpointError::HashMismatch {
+            path,
+            expected: record.hash.clone(),
+            actual,
+        });
+    }
+    load_model_bin(payload.as_slice()).map_err(|e| CheckpointError::Corrupt {
+        path,
+        detail: format!("model artifact does not load: {e}"),
+    })
+}
+
 /// Removes all checkpoint files (`*.ckpt`) from `root`, enabling a fresh
 /// run in the same directory (the CLI's `--force`). Files without the
 /// checkpoint extension are left untouched; a missing directory is fine.

@@ -80,6 +80,29 @@ impl ScoringEngine {
         Ok(self.ids.iter().copied().zip(scores).collect())
     }
 
+    /// Scores raw `texts` against `classifier` — the reusable
+    /// single/batch entry the online inference service (`incite-serve`)
+    /// serves from.
+    ///
+    /// Featurizes each text exactly once and scores it as a sparse dot
+    /// product, both on the panic-free executor. Slot `i` of the result
+    /// is a pure function of `texts[i]` and the model alone, so every
+    /// score is bit-identical to `classifier.score(texts[i])` — and
+    /// therefore to an offline engine pass over the same documents — at
+    /// any thread count and under any batching of the inputs.
+    pub fn score_texts(
+        classifier: &TextClassifier,
+        texts: &[&str],
+        threads: usize,
+    ) -> Result<Vec<f32>, ScoreError> {
+        let featurizer = classifier.featurizer();
+        let rows = map_indexed(texts.len(), threads, |i| featurizer.features(texts[i]))?;
+        let matrix = FeatureMatrix::from_rows(featurizer.dimensions(), rows.iter());
+        map_indexed(matrix.len(), threads, |i| {
+            matrix.score_row(classifier.model(), i)
+        })
+    }
+
     /// Number of cached documents.
     pub fn len(&self) -> usize {
         self.matrix.len()

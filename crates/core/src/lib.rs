@@ -46,7 +46,9 @@ pub mod task;
 pub mod threshold;
 
 pub use attack_classifier::AttackTypeClassifier;
-pub use checkpoint::{clear_run_dir, CheckpointError, Checkpointer, PipelineSnapshot};
+pub use checkpoint::{
+    clear_run_dir, load_latest_classifier, CheckpointError, Checkpointer, PipelineSnapshot,
+};
 pub use engine::{score_corpus, EngineStats, ScoringEngine};
 pub use failpoint::{pipeline_sites, FailpointRegistry, InjectedFault};
 pub use parallel::ScoreError;

@@ -1,4 +1,4 @@
-//! The pattern-based rule catalog (INC001–INC004) and the finding type.
+//! The pattern-based rule catalog (INC001–INC007) and the finding type.
 //!
 //! Each rule scans the *masked* text of a file (see [`crate::lexer`]), so
 //! occurrences inside comments and string literals never match. Rules are
@@ -89,10 +89,16 @@ pub const CATALOG: &[RuleInfo] = &[
                   library code outside checkpoint::atomic_io — all persisted \
                   state must go through the atomic write-rename + hash funnel",
     },
+    RuleInfo {
+        id: "INC007",
+        summary: "no std::net (TcpListener, TcpStream, UdpSocket) outside the \
+                  serve crate and the CLI — the network edge stays behind \
+                  incite-serve's typed HTTP surface",
+    },
 ];
 
 /// Crates whose library code must be panic-free (INC001).
-const PANIC_FREE_CRATES: &[&str] = &["core", "ml", "pii", "regexlite", "stats", "cli"];
+const PANIC_FREE_CRATES: &[&str] = &["core", "ml", "pii", "regexlite", "stats", "cli", "serve"];
 
 /// Crates whose library code INC003 (float equality) applies to.
 const FLOAT_EQ_CRATES: &[&str] = &["stats", "ml"];
@@ -111,8 +117,10 @@ fn in_scope_inc001(path: &str) -> bool {
 
 fn in_scope_inc002(path: &str) -> bool {
     // All library crates except the bench harness (its binaries measure
-    // wall-clock by design).
-    crate_of(path).is_some_and(|c| c != "bench")
+    // wall-clock by design) and the serving layer (request deadlines and
+    // latency histograms are wall-clock by definition; scoring itself
+    // stays deterministic because the engine never reads the clock).
+    crate_of(path).is_some_and(|c| c != "bench" && c != "serve")
 }
 
 fn in_scope_inc003(path: &str) -> bool {
@@ -132,6 +140,13 @@ fn in_scope_inc006(path: &str) -> bool {
         return false;
     }
     crate_of(path).is_some_and(|c| c != "bench" && c != "lint")
+}
+
+fn in_scope_inc007(path: &str) -> bool {
+    // The network edge lives in exactly two places: the serve crate (the
+    // server, plus the test/bench HTTP client in serve::client) and the
+    // CLI that boots it. Everything else must go through those types.
+    crate_of(path).is_some_and(|c| c != "serve" && c != "cli")
 }
 
 fn is_ident_byte(b: u8) -> bool {
@@ -162,7 +177,8 @@ pub fn scan_file(path: &str, masked: &MaskedFile) -> Vec<Finding> {
     let inc003 = in_scope_inc003(path);
     let inc004 = in_scope_inc004(path);
     let inc006 = in_scope_inc006(path);
-    if !(inc001 || inc002 || inc003 || inc004 || inc006) {
+    let inc007 = in_scope_inc007(path);
+    if !(inc001 || inc002 || inc003 || inc004 || inc006 || inc007) {
         return findings;
     }
 
@@ -249,6 +265,39 @@ pub fn scan_file(path: &str, masked: &MaskedFile) -> Vec<Finding> {
                                  (use write_atomic/write_hashed)"
                             ),
                         );
+                    }
+                }
+            }
+        }
+
+        if inc007 && !in_tests {
+            // `use std::net::TcpStream` would trip both the module needle
+            // and the type needle; report the module path once and only
+            // fall back to bare type names (e.g. after a `use`).
+            let mut module_hit = false;
+            for at in occurrences(line, "std::net") {
+                if word_start_at(line.as_bytes(), at) {
+                    push(
+                        "INC007",
+                        "`std::net` outside incite-serve/cli (route network I/O \
+                         through the serve crate)"
+                            .to_string(),
+                    );
+                    module_hit = true;
+                }
+            }
+            if !module_hit {
+                for needle in ["TcpListener", "TcpStream", "UdpSocket"] {
+                    for at in occurrences(line, needle) {
+                        if word_start_at(line.as_bytes(), at) {
+                            push(
+                                "INC007",
+                                format!(
+                                    "`{needle}` outside incite-serve/cli (route network \
+                                     I/O through the serve crate)"
+                                ),
+                            );
+                        }
                     }
                 }
             }
@@ -464,6 +513,40 @@ mod tests {
         assert!(scan("crates/lint/src/main.rs", write).is_empty());
         // tests/ directories are out of scope by construction.
         assert!(scan("crates/core/tests/it.rs", write).is_empty());
+    }
+
+    #[test]
+    fn inc007_flags_network_types_outside_serve_and_cli() {
+        let f = scan("crates/core/src/pipeline.rs", "use std::net::TcpStream;\n");
+        assert_eq!(f.len(), 1, "module path reported once, not per needle");
+        assert_eq!(f[0].rule, "INC007");
+        // Bare type names (already-imported) are caught too.
+        assert_eq!(
+            scan(
+                "crates/bench/src/throughput.rs",
+                "let l = TcpListener::bind(a);\n"
+            )
+            .len(),
+            1
+        );
+        assert_eq!(
+            scan("crates/ml/src/lib.rs", "fn f(s: UdpSocket) {}\n").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn inc007_exempts_serve_cli_tests_and_idents() {
+        let src = "use std::net::{TcpListener, TcpStream};\n";
+        assert!(scan("crates/serve/src/server.rs", src).is_empty());
+        assert!(scan("crates/serve/src/client.rs", src).is_empty());
+        assert!(scan("crates/cli/src/lib.rs", src).is_empty());
+        // tests/ directories and test regions are out of scope.
+        assert!(scan("crates/core/tests/it.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests {\n    use std::net::TcpStream;\n}\n";
+        assert!(scan("crates/core/src/pipeline.rs", test_src).is_empty());
+        // Identifier suffixes don't trip the word boundary.
+        assert!(scan("crates/core/src/pipeline.rs", "let my_TcpStream = 1;\n").is_empty());
     }
 
     #[test]

@@ -440,4 +440,32 @@ mod tests {
             Err(PersistError::Format(_))
         ));
     }
+
+    #[test]
+    fn every_binary_truncation_point_is_a_typed_error() {
+        // The serve boot path loads the binary artifact from a run
+        // directory that may have been cut off at any byte (crash, partial
+        // copy, bad disk). Every prefix must be a typed `PersistError` —
+        // never a panic, never an `Ok` on less than the full frame.
+        let clf = trained(FeatureMode::Subword);
+        let mut buf = Vec::new();
+        save_model_bin(&mut buf, &clf).unwrap();
+        // Stride keeps the sweep fast while still crossing every section
+        // of the frame; the hand-picked cuts hit the boundary cases.
+        let step = (buf.len() / 97).max(1);
+        let mut cuts: Vec<usize> = (0..buf.len()).step_by(step).collect();
+        cuts.extend([0, 1, 7, 8, 9, buf.len() - 1]);
+        for cut in cuts {
+            match load_model_bin(&buf[..cut]) {
+                Err(PersistError::Format(msg)) => {
+                    assert!(!msg.is_empty(), "empty diagnostic at cut {cut}");
+                }
+                Err(other) => panic!("unexpected error kind at cut {cut}: {other:?}"),
+                Ok(_) => panic!("truncated artifact ({cut} of {} bytes) loaded", buf.len()),
+            }
+        }
+        // The full frame still loads — the sweep did not depend on a
+        // corrupted source buffer.
+        assert!(load_model_bin(buf.as_slice()).is_ok());
+    }
 }

@@ -1,0 +1,237 @@
+//! Live service metrics: atomic counters plus a log₂-bucket latency
+//! histogram, rendered in the Prometheus text exposition format on
+//! `GET /metrics`.
+//!
+//! Everything is lock-free (`AtomicU64` with relaxed ordering): recording
+//! a request costs a handful of atomic increments, and a scrape reads a
+//! consistent-enough snapshot without stalling the request path. The
+//! histogram trades precision for footprint — bucket *i* counts latencies
+//! in `[2^i, 2^(i+1))` microseconds, so quantiles are upper bounds within
+//! a factor of two — which is plenty to spot a queue backing up. The
+//! `serve_latency` BENCH experiment measures exact client-side
+//! percentiles separately.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ buckets: `2^39` µs ≈ 6.4 days caps the top bucket.
+const BUCKETS: usize = 40;
+
+/// A log₂-bucketed latency histogram over microseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    pub fn record(&self, us: u64) {
+        let idx = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0..=1), in µs.
+    /// Returns 0 with no observations.
+    pub fn quantile_upper_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << idx.min(63);
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+}
+
+/// All service counters; shared behind one `Arc` by every thread.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests answered, any endpoint and status.
+    pub requests_total: AtomicU64,
+    /// `POST /v1/score` requests accepted into the queue.
+    pub score_requests: AtomicU64,
+    /// `POST /v1/redact` requests served.
+    pub redact_requests: AtomicU64,
+    /// Requests rejected with 429 because the queue was full.
+    pub rejected_overload: AtomicU64,
+    /// Jobs expired past their deadline (504).
+    pub deadline_expired: AtomicU64,
+    /// Batches that failed in the scoring engine (500).
+    pub worker_errors: AtomicU64,
+    /// Documents scored by the engine workers.
+    pub documents_scored: AtomicU64,
+    /// Micro-batches executed.
+    pub batches: AtomicU64,
+    /// Largest micro-batch seen (documents).
+    pub max_batch_docs: AtomicU64,
+    /// End-to-end request latency (parse start → response written).
+    pub latency: LatencyHistogram,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    pub fn observe_batch(&self, docs: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.documents_scored
+            .fetch_add(docs as u64, Ordering::Relaxed);
+        self.max_batch_docs
+            .fetch_max(docs as u64, Ordering::Relaxed);
+    }
+
+    /// Renders the text exposition; `queue_depth` and `draining` are
+    /// point-in-time gauges owned by the server.
+    pub fn render(&self, queue_depth: usize, draining: bool) -> String {
+        let mut s = String::with_capacity(1024);
+        let counter = |s: &mut String, name: &str, v: u64| {
+            let _ = writeln!(s, "incite_serve_{name} {v}");
+        };
+        counter(
+            &mut s,
+            "requests_total",
+            self.requests_total.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut s,
+            "score_requests_total",
+            self.score_requests.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut s,
+            "redact_requests_total",
+            self.redact_requests.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut s,
+            "rejected_overload_total",
+            self.rejected_overload.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut s,
+            "deadline_expired_total",
+            self.deadline_expired.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut s,
+            "worker_errors_total",
+            self.worker_errors.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut s,
+            "documents_scored_total",
+            self.documents_scored.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut s,
+            "batches_total",
+            self.batches.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut s,
+            "batch_docs_max",
+            self.max_batch_docs.load(Ordering::Relaxed),
+        );
+        counter(&mut s, "queue_depth", queue_depth as u64);
+        counter(&mut s, "draining", u64::from(draining));
+        for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+            let _ = writeln!(
+                s,
+                "incite_serve_latency_seconds{{quantile=\"{label}\"}} {:.6}",
+                self.latency.quantile_upper_us(q) as f64 / 1e6
+            );
+        }
+        let _ = writeln!(
+            s,
+            "incite_serve_latency_seconds_sum {:.6}",
+            self.latency.sum_us() as f64 / 1e6
+        );
+        counter(&mut s, "latency_seconds_count", self.latency.count());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_log2_upper_bounds() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_upper_us(0.5), 0, "empty histogram");
+        // 90 fast requests (~100us) and 10 slow ones (~50ms).
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(50_000);
+        }
+        let p50 = h.quantile_upper_us(0.5);
+        assert!((100..=256).contains(&p50), "p50 bound {p50}");
+        let p99 = h.quantile_upper_us(0.99);
+        assert!((50_000..=131_072).contains(&p99), "p99 bound {p99}");
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum_us(), 90 * 100 + 10 * 50_000);
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let h = LatencyHistogram::default();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile_upper_us(0.01) >= 1);
+        assert!(h.quantile_upper_us(1.0) >= 1u64 << 39);
+    }
+
+    #[test]
+    fn render_contains_every_series() {
+        let m = Metrics::new();
+        m.requests_total.fetch_add(3, Ordering::Relaxed);
+        m.rejected_overload.fetch_add(1, Ordering::Relaxed);
+        m.observe_batch(5);
+        m.latency.record(250);
+        let text = m.render(2, true);
+        for series in [
+            "incite_serve_requests_total 3",
+            "incite_serve_rejected_overload_total 1",
+            "incite_serve_documents_scored_total 5",
+            "incite_serve_batches_total 1",
+            "incite_serve_batch_docs_max 5",
+            "incite_serve_queue_depth 2",
+            "incite_serve_draining 1",
+            "incite_serve_latency_seconds{quantile=\"0.99\"}",
+            "incite_serve_latency_seconds_count 1",
+        ] {
+            assert!(text.contains(series), "missing {series:?} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! The bounded job queue between connection handlers and engine workers.
+//!
+//! Capacity is the backpressure contract: [`BoundedQueue::try_push`] never
+//! blocks and never grows the buffer past `capacity` — a full queue is an
+//! immediate [`PushError::Full`], which the HTTP layer turns into
+//! `429 Retry-After`. Workers block on [`BoundedQueue::pop_batch`], which
+//! drains up to `max` items in one go: under load the queue fills while
+//! workers score, so batch sizes grow with pressure (micro-batching) and
+//! collapse to 1 when the service is idle.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Why a push was refused.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity; retry later (backpressure).
+    Full(T),
+    /// The queue was closed for draining; no new work is accepted.
+    Closed(T),
+}
+
+/// What a worker got from [`BoundedQueue::pop_batch`].
+#[derive(Debug)]
+pub enum PopBatch<T> {
+    /// Up to `max` queued items, in arrival order.
+    Items(Vec<T>),
+    /// The wait timed out with nothing queued; poll again.
+    Idle,
+    /// The queue is closed and fully drained; the worker can exit.
+    Drained,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A Mutex+Condvar MPMC queue with a hard capacity.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        // A poisoned lock means a panic elsewhere; the queue state itself
+        // (a VecDeque and a bool) is always valid, so recover it.
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Enqueues without blocking; `Full`/`Closed` hand the item back so
+    /// the caller can reply to it.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks up to `wait` for work, then drains up to `max` items.
+    pub fn pop_batch(&self, max: usize, wait: Duration) -> PopBatch<T> {
+        let mut state = self.lock();
+        if state.items.is_empty() && !state.closed {
+            state = match self.available.wait_timeout(state, wait) {
+                Ok((guard, _)) => guard,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+        if state.items.is_empty() {
+            return if state.closed {
+                PopBatch::Drained
+            } else {
+                PopBatch::Idle
+            };
+        }
+        let take = state.items.len().min(max.max(1));
+        PopBatch::Items(state.items.drain(..take).collect())
+    }
+
+    /// Closes the queue: future pushes fail with `Closed`, and workers
+    /// drain the remaining items before seeing `Drained`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Current number of queued items (the `/metrics` gauge).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_preserves_order_and_batches() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).expect("push");
+        }
+        assert_eq!(q.len(), 5);
+        match q.pop_batch(3, Duration::from_millis(1)) {
+            PopBatch::Items(items) => assert_eq!(items, vec![0, 1, 2]),
+            other => panic!("expected items, got {other:?}"),
+        }
+        match q.pop_batch(64, Duration::from_millis(1)) {
+            PopBatch::Items(items) => assert_eq!(items, vec![3, 4]),
+            other => panic!("expected items, got {other:?}"),
+        }
+        assert!(matches!(
+            q.pop_batch(64, Duration::from_millis(1)),
+            PopBatch::Idle
+        ));
+    }
+
+    #[test]
+    fn capacity_is_a_hard_limit() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).expect("push 1");
+        q.try_push(2).expect("push 2");
+        match q.try_push(3) {
+            Err(PushError::Full(3)) => {}
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Zero capacity: every push is a backpressure rejection.
+        let q0: BoundedQueue<u32> = BoundedQueue::new(0);
+        assert!(matches!(q0.try_push(7), Err(PushError::Full(7))));
+    }
+
+    #[test]
+    fn close_drains_then_reports_drained() {
+        let q = BoundedQueue::new(8);
+        q.try_push(1).expect("push");
+        q.close();
+        assert!(matches!(q.try_push(2), Err(PushError::Closed(2))));
+        match q.pop_batch(8, Duration::from_millis(1)) {
+            PopBatch::Items(items) => assert_eq!(items, vec![1]),
+            other => panic!("expected items, got {other:?}"),
+        }
+        assert!(matches!(
+            q.pop_batch(8, Duration::from_millis(1)),
+            PopBatch::Drained
+        ));
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let q2 = Arc::clone(&q);
+        let waiter = std::thread::spawn(move || {
+            // A long wait that close() must interrupt.
+            q2.pop_batch(4, Duration::from_secs(30))
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        q.close();
+        match waiter.join().expect("join") {
+            PopBatch::Drained => {}
+            other => panic!("expected Drained, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,578 @@
+//! The server proper: acceptor, connection handlers, request routing,
+//! and the graceful-drain state machine.
+//!
+//! Thread layout (DESIGN.md §13):
+//!
+//! ```text
+//! acceptor ──spawns──▶ connection handlers (one thread per connection)
+//!                         │  POST /v1/score → try_push ──▶ BoundedQueue
+//!                         │                    (full → 429 Retry-After)
+//!                         ▼                                  │ pop_batch
+//!                      reply rendezvous ◀── engine workers ◀─┘
+//!                                           (map_indexed, `threads` wide)
+//! ```
+//!
+//! Drain protocol on [`ServerHandle::initiate_drain`] (SIGTERM path):
+//! 1. the draining flag flips — `/healthz` turns 503, new `/v1/score`
+//!    requests are refused with 503;
+//! 2. the acceptor stops accepting and exits;
+//! 3. connection handlers finish their in-flight request and close
+//!    (idle keep-alive connections close on their next poll tick);
+//! 4. the queue closes; workers drain what was already accepted and
+//!    exit — accepted work is never dropped;
+//! 5. [`ServerHandle::join`] collects every thread and reports totals.
+
+use crate::http::{self, Received, RecvError, Request, Response};
+use crate::metrics::Metrics;
+use crate::queue::{BoundedQueue, PushError};
+use crate::worker::{Reply, ScoreJob};
+use crate::{ServeConfig, ServeError};
+use incite_ml::TextClassifier;
+use incite_pii::{redact, PiiExtractor};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, RecvTimeoutError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Maximum documents in one `/v1/score` or `/v1/redact` request.
+pub const MAX_DOCS_PER_REQUEST: usize = 1024;
+
+/// Acceptor poll tick and connection read timeout.
+const POLL: Duration = Duration::from_millis(25);
+
+/// How long `join` waits for open connections to finish after a drain
+/// begins before giving up on them (they hold no queued work by then).
+const CONNECTION_DRAIN_WINDOW: Duration = Duration::from_secs(15);
+
+/// Shared server state; one `Arc` across all threads.
+pub struct ServerState {
+    pub(crate) classifier: TextClassifier,
+    pub(crate) extractor: PiiExtractor,
+    pub(crate) queue: BoundedQueue<ScoreJob>,
+    pub(crate) metrics: Metrics,
+    pub(crate) config: ServeConfig,
+    draining: AtomicBool,
+    open_connections: AtomicUsize,
+}
+
+impl ServerState {
+    pub(crate) fn draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+}
+
+/// What the drain left behind; returned by [`ServerHandle::join`].
+#[derive(Debug, Default, Clone, serde::Serialize)]
+pub struct DrainReport {
+    /// Requests answered over the server's lifetime.
+    pub requests_total: u64,
+    /// Documents scored by the engine workers.
+    pub documents_scored: u64,
+    /// Requests refused with 429 (queue full).
+    pub rejected_overload: u64,
+    /// Connections still open when the drain window closed.
+    pub stuck_connections: usize,
+    /// Server threads that terminated by panic (always 0 in practice;
+    /// the scoring path is panic-free by construction).
+    pub panicked_threads: usize,
+}
+
+/// The entry point: binds, spawns, serves.
+pub struct Server;
+
+impl Server {
+    /// Binds `config.addr`, spawns the engine workers and the acceptor,
+    /// and returns a handle. Fails without side effects: nothing is
+    /// spawned unless the bind and the PII extractor both succeed.
+    pub fn start(
+        classifier: TextClassifier,
+        config: ServeConfig,
+    ) -> Result<ServerHandle, ServeError> {
+        config.validate()?;
+        let extractor = PiiExtractor::try_new().map_err(|e| ServeError::Pii(e.to_string()))?;
+        let listener = TcpListener::bind(&config.addr).map_err(|source| ServeError::Bind {
+            addr: config.addr.clone(),
+            source,
+        })?;
+        let addr = listener.local_addr().map_err(|source| ServeError::Bind {
+            addr: config.addr.clone(),
+            source,
+        })?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|source| ServeError::Bind {
+                addr: config.addr.clone(),
+                source,
+            })?;
+
+        let state = Arc::new(ServerState {
+            classifier,
+            extractor,
+            queue: BoundedQueue::new(config.queue_depth),
+            metrics: Metrics::new(),
+            config,
+            draining: AtomicBool::new(false),
+            open_connections: AtomicUsize::new(0),
+        });
+
+        let workers: Vec<JoinHandle<()>> = (0..state.config.workers)
+            .map(|i| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("incite-serve-worker-{i}"))
+                    .spawn(move || crate::worker::run(&state))
+            })
+            .collect::<Result<_, _>>()
+            .map_err(|source| ServeError::Bind {
+                addr: addr.to_string(),
+                source,
+            })?;
+
+        let acceptor = {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("incite-serve-acceptor".to_string())
+                .spawn(move || accept_loop(&listener, &state))
+                .map_err(|source| ServeError::Bind {
+                    addr: addr.to_string(),
+                    source,
+                })?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            state,
+            acceptor,
+            workers,
+        })
+    }
+}
+
+/// A running server: the owner can inspect, drain, and join it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Flips the draining flag: `/healthz` goes 503, new scoring work is
+    /// refused, the acceptor winds down. Idempotent; does not block.
+    pub fn initiate_drain(&self) {
+        self.state.draining.store(true, Ordering::Release);
+    }
+
+    /// Drains and joins everything; see the module docs for the order.
+    pub fn join(self) -> DrainReport {
+        self.initiate_drain();
+        let mut report = DrainReport::default();
+        if self.acceptor.join().is_err() {
+            report.panicked_threads += 1;
+        }
+        // In-flight connections finish their current request and close;
+        // give them a bounded window before abandoning the stragglers.
+        let window = Instant::now() + CONNECTION_DRAIN_WINDOW;
+        while self.state.open_connections.load(Ordering::Acquire) > 0 && Instant::now() < window {
+            std::thread::sleep(POLL);
+        }
+        report.stuck_connections = self.state.open_connections.load(Ordering::Acquire);
+        // Only now close the queue: every job a handler managed to push
+        // gets scored before the workers exit.
+        self.state.queue.close();
+        for worker in self.workers {
+            if worker.join().is_err() {
+                report.panicked_threads += 1;
+            }
+        }
+        report.requests_total = self.state.metrics.requests_total.load(Ordering::Relaxed);
+        report.documents_scored = self.state.metrics.documents_scored.load(Ordering::Relaxed);
+        report.rejected_overload = self.state.metrics.rejected_overload.load(Ordering::Relaxed);
+        report
+    }
+
+    /// Serves until `stop` flips (the signal flag), then drains and
+    /// joins. This is the `incite serve` main loop.
+    pub fn run_until(self, stop: &AtomicBool) -> DrainReport {
+        while !stop.load(Ordering::Acquire) && !self.state.draining() {
+            std::thread::sleep(POLL);
+        }
+        self.join()
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    while !state.draining() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Track before spawning so a drain that starts between
+                // accept and spawn still waits for this connection.
+                state.open_connections.fetch_add(1, Ordering::AcqRel);
+                let conn_state = Arc::clone(state);
+                let spawned = std::thread::Builder::new()
+                    .name("incite-serve-conn".to_string())
+                    .spawn(move || {
+                        handle_connection(&conn_state, stream);
+                        conn_state.open_connections.fetch_sub(1, Ordering::AcqRel);
+                    });
+                if spawned.is_err() {
+                    // Spawn failure (fd/thread exhaustion): shed the
+                    // connection; the guard must still be released.
+                    state.open_connections.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            // Transient accept errors (ECONNABORTED, EMFILE...): back off
+            // briefly instead of spinning or dying.
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream);
+    loop {
+        let received = http::read_request(&mut reader, &|| state.draining());
+        let started = Instant::now();
+        let (response, fatal) = match received {
+            Ok(Received::Request(req)) => {
+                let response = route(state, &req);
+                let close = response.close || req.wants_close();
+                (response, close)
+            }
+            Ok(Received::Closed) => return,
+            Err(RecvError::Malformed(what)) => (
+                Response::json(400, error_body(&format!("malformed request: {what}"))).closing(),
+                true,
+            ),
+            Err(RecvError::TooLarge(what)) => (
+                Response::json(413, error_body(&format!("{what} too large"))).closing(),
+                true,
+            ),
+            Err(RecvError::Io(_)) => return,
+        };
+        state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+        state
+            .metrics
+            .latency
+            .record(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
+        if response.write_to(reader.get_mut()).is_err() {
+            return;
+        }
+        if fatal {
+            return;
+        }
+    }
+}
+
+/// The documents of a `/v1/score` or `/v1/redact` body: either
+/// `{"text": "..."}` or `{"texts": ["...", ...]}`.
+#[derive(serde::Deserialize)]
+struct DocsRequest {
+    text: Option<String>,
+    texts: Option<Vec<String>>,
+}
+
+#[derive(serde::Serialize)]
+struct ScoreResponse {
+    /// Scores in input order.
+    scores: Vec<f32>,
+    /// The same scores as raw `f32` bit patterns: the byte-identity
+    /// contract with the offline engine, checkable over the wire.
+    bits: Vec<u32>,
+    count: usize,
+}
+
+#[derive(serde::Serialize)]
+struct RedactResponse {
+    redacted: Vec<String>,
+    pii_matches: usize,
+}
+
+fn error_body(message: &str) -> String {
+    serde_json::to_string(&serde::Value::Object(
+        [("error".to_string(), serde::Value::Str(message.to_string()))]
+            .into_iter()
+            .collect(),
+    ))
+    .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_string())
+}
+
+fn json_or_500<E: std::fmt::Display>(body: Result<String, E>) -> Response {
+    match body {
+        Ok(body) => Response::json(200, body),
+        Err(e) => Response::json(500, error_body(&format!("response serialization: {e}"))),
+    }
+}
+
+fn route(state: &Arc<ServerState>, req: &Request) -> Response {
+    match (req.method.as_str(), req.target.as_str()) {
+        ("GET", "/healthz") => {
+            if state.draining() {
+                Response::text(503, "draining\n").closing()
+            } else {
+                Response::text(200, "ok\n")
+            }
+        }
+        ("GET", "/metrics") => Response::text(
+            200,
+            &state.metrics.render(state.queue.len(), state.draining()),
+        ),
+        ("POST", "/v1/score") => score(state, req),
+        ("POST", "/v1/redact") => redact_endpoint(state, req),
+        ("GET" | "POST", _) => Response::json(404, error_body("no such endpoint")),
+        _ => Response::json(405, error_body("method not allowed")),
+    }
+}
+
+/// Parses the shared body shape and applies the per-request size cap.
+fn parse_docs(req: &Request) -> Result<Vec<String>, Response> {
+    let body = std::str::from_utf8(&req.body)
+        .map_err(|_| Response::json(400, error_body("body is not UTF-8")))?;
+    let parsed: DocsRequest = serde_json::from_str(body)
+        .map_err(|e| Response::json(400, error_body(&format!("body does not parse: {e}"))))?;
+    let texts = match (parsed.text, parsed.texts) {
+        (Some(text), None) => vec![text],
+        (None, Some(texts)) => texts,
+        _ => {
+            return Err(Response::json(
+                400,
+                error_body("body must have exactly one of \"text\" or \"texts\""),
+            ))
+        }
+    };
+    if texts.is_empty() {
+        return Err(Response::json(400, error_body("\"texts\" is empty")));
+    }
+    if texts.len() > MAX_DOCS_PER_REQUEST {
+        return Err(Response::json(
+            413,
+            error_body(&format!(
+                "at most {MAX_DOCS_PER_REQUEST} documents per request"
+            )),
+        ));
+    }
+    Ok(texts)
+}
+
+fn score(state: &Arc<ServerState>, req: &Request) -> Response {
+    if state.draining() {
+        return Response::json(503, error_body("draining")).closing();
+    }
+    let texts = match parse_docs(req) {
+        Ok(texts) => texts,
+        Err(response) => return response,
+    };
+    let deadline = state.config.deadline;
+    let (reply_tx, reply_rx) = sync_channel(1);
+    let job = ScoreJob {
+        texts,
+        enqueued: Instant::now(),
+        deadline,
+        reply: reply_tx,
+    };
+    match state.queue.try_push(job) {
+        Ok(()) => {}
+        Err(PushError::Full(_)) => {
+            state
+                .metrics
+                .rejected_overload
+                .fetch_add(1, Ordering::Relaxed);
+            return Response::json(429, error_body("queue full, retry later"))
+                .with_header("retry-after", "1".to_string());
+        }
+        Err(PushError::Closed(_)) => {
+            return Response::json(503, error_body("draining")).closing();
+        }
+    }
+    state.metrics.score_requests.fetch_add(1, Ordering::Relaxed);
+    // The worker enforces the deadline; the extra grace covers a batch
+    // already being scored when the deadline hits.
+    match reply_rx.recv_timeout(deadline + Duration::from_secs(5)) {
+        Ok(Reply::Scores(scores)) => {
+            let bits = scores.iter().map(|s| s.to_bits()).collect();
+            let count = scores.len();
+            json_or_500(serde_json::to_string(&ScoreResponse {
+                scores,
+                bits,
+                count,
+            }))
+        }
+        Ok(Reply::Expired) => Response::json(504, error_body("deadline exceeded in queue")),
+        Ok(Reply::Failed(msg)) => Response::json(500, error_body(&msg)),
+        Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+            state
+                .metrics
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            Response::json(504, error_body("deadline exceeded"))
+        }
+    }
+}
+
+fn redact_endpoint(state: &Arc<ServerState>, req: &Request) -> Response {
+    let texts = match parse_docs(req) {
+        Ok(texts) => texts,
+        Err(response) => return response,
+    };
+    state
+        .metrics
+        .redact_requests
+        .fetch_add(1, Ordering::Relaxed);
+    // Redaction is a pure per-text pass over precompiled extractors —
+    // cheap enough to serve inline on the connection thread, keeping the
+    // queue for model inference.
+    let mut redacted = Vec::with_capacity(texts.len());
+    let mut pii_matches = 0;
+    for text in &texts {
+        let (clean, matches) = redact(&state.extractor, text);
+        redacted.push(clean);
+        pii_matches += matches.len();
+    }
+    json_or_500(serde_json::to_string(&RedactResponse {
+        redacted,
+        pii_matches,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incite_ml::{FeaturizerConfig, TrainConfig};
+
+    /// A server state with no worker threads attached — routing decisions
+    /// that never reach the engine (health, metrics, parse errors, and
+    /// the 429 backpressure path with a zero-capacity queue) are testable
+    /// without sockets.
+    fn state(queue_depth: usize) -> Arc<ServerState> {
+        let classifier = TextClassifier::train(
+            vec![("report him now", true), ("nice weather", false)],
+            FeaturizerConfig::default(),
+            TrainConfig::default(),
+        );
+        let extractor = PiiExtractor::try_new().expect("extractor");
+        Arc::new(ServerState {
+            classifier,
+            extractor,
+            queue: BoundedQueue::new(queue_depth),
+            metrics: Metrics::new(),
+            config: ServeConfig {
+                queue_depth,
+                ..ServeConfig::default()
+            },
+            draining: AtomicBool::new(false),
+            open_connections: AtomicUsize::new(0),
+        })
+    }
+
+    fn request(method: &str, target: &str, body: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            target: target.to_string(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn healthz_flips_to_503_while_draining() {
+        let state = state(4);
+        let ok = route(&state, &request("GET", "/healthz", ""));
+        assert_eq!(ok.status, 200);
+        assert_eq!(ok.body, b"ok\n");
+        state.draining.store(true, Ordering::Release);
+        let draining = route(&state, &request("GET", "/healthz", ""));
+        assert_eq!(draining.status, 503);
+        assert_eq!(draining.body, b"draining\n");
+        assert!(draining.close, "draining health responses close the socket");
+    }
+
+    #[test]
+    fn score_while_draining_is_refused_not_queued() {
+        let state = state(4);
+        state.draining.store(true, Ordering::Release);
+        let resp = route(&state, &request("POST", "/v1/score", "{\"text\": \"x\"}"));
+        assert_eq!(resp.status, 503);
+        assert_eq!(state.queue.len(), 0);
+    }
+
+    #[test]
+    fn full_queue_returns_429_with_retry_after() {
+        // Zero capacity: every enqueue is a backpressure rejection, and no
+        // worker is needed to prove it.
+        let state = state(0);
+        let resp = route(&state, &request("POST", "/v1/score", "{\"text\": \"x\"}"));
+        assert_eq!(resp.status, 429);
+        assert!(
+            resp.extra_headers
+                .iter()
+                .any(|(k, v)| *k == "retry-after" && v == "1"),
+            "429 must carry retry-after: {:?}",
+            resp.extra_headers
+        );
+        assert_eq!(state.metrics.rejected_overload.load(Ordering::Relaxed), 1);
+        let metrics = route(&state, &request("GET", "/metrics", ""));
+        let text = String::from_utf8(metrics.body).expect("utf8");
+        assert!(
+            text.contains("incite_serve_rejected_overload_total 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn bad_bodies_are_400_or_413_and_unknown_routes_404() {
+        let state = state(4);
+        for (body, expect) in [
+            ("not json", 400),
+            ("{}", 400),
+            ("{\"text\": \"a\", \"texts\": [\"b\"]}", 400),
+            ("{\"texts\": []}", 400),
+        ] {
+            let resp = route(&state, &request("POST", "/v1/score", body));
+            assert_eq!(resp.status, expect, "body {body:?}");
+        }
+        let many: Vec<String> = (0..=MAX_DOCS_PER_REQUEST)
+            .map(|i| format!("\"d{i}\""))
+            .collect();
+        let body = format!("{{\"texts\": [{}]}}", many.join(","));
+        let resp = route(&state, &request("POST", "/v1/score", &body));
+        assert_eq!(resp.status, 413);
+
+        assert_eq!(route(&state, &request("GET", "/nope", "")).status, 404);
+        assert_eq!(
+            route(&state, &request("DELETE", "/healthz", "")).status,
+            405
+        );
+    }
+
+    #[test]
+    fn redact_runs_inline_without_workers() {
+        let state = state(4);
+        let resp = route(
+            &state,
+            &request(
+                "POST",
+                "/v1/redact",
+                "{\"texts\": [\"call 212-555-0101 now\", \"no pii here\"]}",
+            ),
+        );
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).expect("utf8");
+        assert!(body.contains("[PHONE]"), "{body}");
+        assert!(!body.contains("555-0101"), "{body}");
+        assert_eq!(state.metrics.redact_requests.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! The inference engine loop: workers drain the bounded queue in
+//! micro-batches and score them on the panic-free parallel executor.
+//!
+//! Batching happens naturally under load: while a worker scores, new
+//! jobs pile up in the queue, and the next `pop_batch` takes them all
+//! (up to `max_batch`) in one featurize+spmv pass. Each job's texts keep
+//! their queue position inside the flattened batch, and the executor
+//! writes slot `i` from text `i` alone, so per-text scores are
+//! bit-identical to `classifier.score(text)` no matter how requests are
+//! batched or how many threads score them.
+
+use crate::queue::PopBatch;
+use crate::server::ServerState;
+use incite_core::ScoringEngine;
+use std::sync::mpsc::SyncSender;
+use std::time::{Duration, Instant};
+
+/// One `/v1/score` request in the queue.
+pub(crate) struct ScoreJob {
+    /// The documents of this request (1 for single-doc, n for batch).
+    pub texts: Vec<String>,
+    /// When the job entered the queue; deadlines count from here.
+    pub enqueued: Instant,
+    /// The per-request deadline.
+    pub deadline: Duration,
+    /// Rendezvous back to the connection handler (capacity 1).
+    pub reply: SyncSender<Reply>,
+}
+
+/// What the engine sends back for a job.
+pub(crate) enum Reply {
+    /// One score per input text, in order.
+    Scores(Vec<f32>),
+    /// The job sat in the queue past its deadline; it was not scored.
+    Expired,
+    /// The scoring pass failed (a worker panic surfaced as an error).
+    Failed(String),
+}
+
+/// How long an idle worker waits before re-checking the queue.
+const POLL: Duration = Duration::from_millis(50);
+
+/// The worker loop: runs until the queue is closed and drained.
+pub(crate) fn run(state: &ServerState) {
+    loop {
+        match state.queue.pop_batch(state.config.max_batch, POLL) {
+            PopBatch::Idle => continue,
+            PopBatch::Drained => break,
+            PopBatch::Items(jobs) => score_batch(state, jobs),
+        }
+    }
+}
+
+fn score_batch(state: &ServerState, jobs: Vec<ScoreJob>) {
+    use std::sync::atomic::Ordering;
+
+    // Deadline triage before paying for featurization: a job that sat in
+    // the queue past its deadline gets 504, not a late score.
+    let mut live = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        if job.enqueued.elapsed() > job.deadline {
+            state
+                .metrics
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.try_send(Reply::Expired);
+        } else {
+            live.push(job);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let texts: Vec<&str> = live
+        .iter()
+        .flat_map(|job| job.texts.iter().map(String::as_str))
+        .collect();
+    state.metrics.observe_batch(texts.len());
+
+    match ScoringEngine::score_texts(&state.classifier, &texts, state.config.threads) {
+        Ok(scores) => {
+            let mut cursor = 0;
+            for job in live {
+                let end = cursor + job.texts.len();
+                // A handler that gave up waiting has dropped its receiver;
+                // ignore the send failure and move on.
+                let _ = job
+                    .reply
+                    .try_send(Reply::Scores(scores[cursor..end].to_vec()));
+                cursor = end;
+            }
+        }
+        Err(e) => {
+            state.metrics.worker_errors.fetch_add(1, Ordering::Relaxed);
+            let msg = e.to_string();
+            for job in live {
+                let _ = job.reply.try_send(Reply::Failed(msg.clone()));
+            }
+        }
+    }
+}

@@ -6,6 +6,7 @@ pub use incite_corpus as corpus;
 pub use incite_ml as ml;
 pub use incite_pii as pii;
 pub use incite_regex as regex;
+pub use incite_serve as serve;
 pub use incite_stats as stats;
 pub use incite_taxonomy as taxonomy;
 pub use incite_textkit as textkit;
