@@ -5,9 +5,11 @@
 //!
 //! - a `(rule, file)` with **more** findings than its grandfathered count
 //!   is a failure — new debt is never accepted;
-//! - **fewer** findings than grandfathered is progress: the run passes but
-//!   reports the stale entries so the baseline can be regenerated (counts
-//!   in the committed file may only decrease over time);
+//! - **fewer** findings than grandfathered is rejected too, with a typed
+//!   [`BaselineError::Inflated`]: either debt was paid down without
+//!   ratcheting the file (stale ledger) or the count was hand-edited
+//!   upward to smuggle in headroom. Counts in the committed file may only
+//!   decrease, and must decrease in the same change that pays the debt;
 //! - `--update-baseline` rewrites the file from the current findings.
 //!
 //! The lint crate is std-only by contract, so this module carries its own
@@ -16,6 +18,45 @@
 
 use crate::rules::Finding;
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// Typed failure modes of the baseline ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The file is not the JSON subset the baseline uses. The message
+    /// carries the byte offset of the first problem.
+    Parse { what: String },
+    /// An entry grandfathers more findings than currently exist — a
+    /// stale ledger after a pay-down, or a hand-inflated count. Either
+    /// way the committed file no longer describes reality and must be
+    /// regenerated with `--update-baseline`.
+    Inflated {
+        rule: String,
+        file: String,
+        grandfathered: usize,
+        current: usize,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Parse { what } => write!(f, "baseline does not parse: {what}"),
+            BaselineError::Inflated {
+                rule,
+                file,
+                grandfathered,
+                current,
+            } => write!(
+                f,
+                "baseline entry {rule}/{file} grandfathers {grandfathered} \
+                 finding(s) but only {current} exist — counts may only \
+                 decrease; run `cargo run -p incite-lint -- check \
+                 --update-baseline` to ratchet the ledger down"
+            ),
+        }
+    }
+}
 
 /// `rule → file → grandfathered count`. `BTreeMap` keeps serialization
 /// deterministic.
@@ -113,8 +154,33 @@ impl Baseline {
         out
     }
 
+    /// Rejects entries that grandfather more findings than currently
+    /// exist (see [`BaselineError::Inflated`]). The first offender in
+    /// sorted (rule, file) order is reported, deterministically.
+    pub fn verify(&self, findings: &[Finding]) -> Result<(), BaselineError> {
+        let current = Baseline::from_findings(findings);
+        for (rule, files) in &self.counts {
+            for (file, &grandfathered) in files {
+                let now = current.allowed(rule, file);
+                if grandfathered > now {
+                    return Err(BaselineError::Inflated {
+                        rule: rule.clone(),
+                        file: file.clone(),
+                        grandfathered,
+                        current: now,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Parses the baseline JSON subset. Errors carry a byte offset.
-    pub fn parse(text: &str) -> Result<Baseline, String> {
+    pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
+        Baseline::parse_inner(text).map_err(|what| BaselineError::Parse { what })
+    }
+
+    fn parse_inner(text: &str) -> Result<Baseline, String> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
@@ -299,10 +365,49 @@ mod tests {
     }
 
     #[test]
-    fn parse_rejects_garbage_with_offset() {
+    fn parse_rejects_garbage_with_typed_offset_error() {
         let err = Baseline::parse("{\"INC001\": {\"f\": }}").unwrap_err();
-        assert!(err.contains("byte"), "{err}");
+        match &err {
+            BaselineError::Parse { what } => assert!(what.contains("byte"), "{what}"),
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("does not parse"));
         assert!(Baseline::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn verify_accepts_exact_ledgers_and_rejects_inflated_ones() {
+        let findings = vec![finding("INC001", "a.rs", 1), finding("INC001", "a.rs", 2)];
+        let exact = Baseline::from_findings(&findings);
+        assert_eq!(exact.verify(&findings), Ok(()));
+
+        // Hand-edit the count upward: typed rejection, not a silent pass.
+        let mut inflated = exact.clone();
+        *inflated
+            .counts
+            .get_mut("INC001")
+            .unwrap()
+            .get_mut("a.rs")
+            .unwrap() = 5;
+        match inflated.verify(&findings) {
+            Err(BaselineError::Inflated {
+                rule,
+                file,
+                grandfathered,
+                current,
+            }) => {
+                assert_eq!((rule.as_str(), file.as_str()), ("INC001", "a.rs"));
+                assert_eq!((grandfathered, current), (5, 2));
+            }
+            other => panic!("expected Inflated, got {other:?}"),
+        }
+
+        // A paid-down entry is the same shape: stale ledgers are rejected
+        // until the baseline is regenerated.
+        assert!(matches!(
+            exact.verify(&findings[..1]),
+            Err(BaselineError::Inflated { current: 1, .. })
+        ));
     }
 
     #[test]

@@ -135,6 +135,25 @@ fn mask(source: &str) -> (String, Vec<Comment>) {
                         i = j + 1;
                         continue;
                     }
+                    // Raw identifiers (`r#fn`, `r#type`): mask the whole
+                    // token, or the keyword-shaped name would leak into the
+                    // masked stream and spoof the item parser. `r#ident` is
+                    // never the std API its name resembles, so blanking it is
+                    // sound for every pattern rule too.
+                    if c == 'r'
+                        && hashes == 1
+                        && !is_ident_continuation
+                        && chars.get(j).is_some_and(|&n| is_ident_char(n))
+                    {
+                        out.push_str("  ");
+                        let mut k = j;
+                        while chars.get(k).is_some_and(|&n| is_ident_char(n)) {
+                            out.push(' ');
+                            k += 1;
+                        }
+                        i = k;
+                        continue;
+                    }
                     out.push(c);
                 }
                 '\'' => {
@@ -336,7 +355,7 @@ fn find_test_regions(masked: &str) -> Vec<(usize, usize)> {
 }
 
 /// Index of the `}` matching the `{` at `open`, on masked text.
-fn matching_brace(bytes: &[u8], open: usize) -> Option<usize> {
+pub(crate) fn matching_brace(bytes: &[u8], open: usize) -> Option<usize> {
     let mut depth = 0i64;
     for (off, &b) in bytes[open..].iter().enumerate() {
         match b {
@@ -405,6 +424,64 @@ mod tests {
         let m = MaskedFile::new(r##"let r = r#"panic!("inside")"#; after();"##);
         assert!(!m.masked.contains("panic"));
         assert!(m.masked.contains("after();"));
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_close_on_matching_hash_count() {
+        // `"#` inside an `r##` string must not close it.
+        let m = MaskedFile::new("let s = r##\"has \"# inside\"##; z.unwrap();\n");
+        assert!(!m.masked.contains("inside"));
+        assert!(m.masked.contains("z.unwrap()"));
+        // Closer followed by more hashes in code.
+        let m = MaskedFile::new("let s = r#\"x\"#; tail.unwrap();\n");
+        assert!(m.masked.contains("tail.unwrap()"));
+    }
+
+    #[test]
+    fn raw_byte_strings_with_hashes() {
+        let m = MaskedFile::new("let p = br#\"panic!(\"no\")\"#; ok();\n");
+        assert!(!m.masked.contains("panic"));
+        assert!(m.masked.contains("ok();"));
+    }
+
+    #[test]
+    fn raw_strings_do_not_process_escapes() {
+        // In a raw string, `\` is content, not an escape: `r"\"` is closed.
+        let m = MaskedFile::new("let s = r\"\\\"; after.unwrap();\n");
+        assert!(m.masked.contains("after.unwrap()"));
+    }
+
+    #[test]
+    fn multiline_raw_strings_preserve_layout_and_hide_items() {
+        let src = "let s = r#\"a\nfn ghost() {\nb\"#;\nreal();\n";
+        let m = MaskedFile::new(src);
+        assert!(!m.masked.contains("ghost"));
+        assert_eq!(m.masked.lines().count(), 4);
+        assert!(m.masked.contains("real();"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_fully_masked() {
+        // `r#fn` must not leak a keyword-shaped token into the masked
+        // stream (it would spoof the item parser), and `x.r#unwrap()` is
+        // not `x.unwrap()`.
+        let m = MaskedFile::new("let r#fn = 1; x.r#unwrap(); r#type.go();\n");
+        assert!(!m.masked.contains("fn"), "{:?}", m.masked);
+        assert!(!m.masked.contains("unwrap"), "{:?}", m.masked);
+        assert!(!m.masked.contains("type"), "{:?}", m.masked);
+        assert!(m.masked.contains(".go();"), "{:?}", m.masked);
+        assert_eq!(
+            m.masked.len(),
+            "let r#fn = 1; x.r#unwrap(); r#type.go();\n".len()
+        );
+    }
+
+    #[test]
+    fn nested_comment_close_is_not_the_outer_close() {
+        // A non-nesting lexer would leak `hidden` after the first `*/`.
+        let m = MaskedFile::new("/* /* */ hidden */ live();\n");
+        assert!(!m.masked.contains("hidden"));
+        assert!(m.masked.contains("live();"));
     }
 
     #[test]

@@ -10,6 +10,16 @@
 //! | INC003 | no float `==`/`!=` in stats/ml |
 //! | INC004 | no unchecked slice indexing in the regexlite VM hot loop |
 //! | INC005 | taxonomy/pii/corpus spec constants agree with the paper |
+//! | INC006 | all persistent writes funnel through `checkpoint::atomic_io` |
+//! | INC007 | `std::net` usage confined to the serve crate |
+//! | INC008 | workspace locks are acquired in one consistent order |
+//! | INC009 | no blocking operation while a lock guard is live |
+//! | INC010 | serve request handlers only grow buffers under a bound |
+//!
+//! INC001–INC007 are per-file pattern rules over masked text. INC008–
+//! INC010 are graph rules: pass 1 ([`items`], [`graph`]) parses the item
+//! structure of every file and builds an approximate call graph with
+//! lock-site annotations; pass 2 ([`concurrency`]) walks that graph.
 //!
 //! Findings are ratcheted against `lint.baseline.json` (see [`baseline`]):
 //! grandfathered debt passes, new debt fails, and paid-down debt is
@@ -21,7 +31,10 @@
 //! everything else.
 
 pub mod baseline;
+pub mod concurrency;
 pub mod engine;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod rules;
 pub mod spec;

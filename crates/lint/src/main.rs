@@ -1,8 +1,8 @@
-//! CLI: `cargo run -p incite-lint -- check [--baseline PATH] [--json]
-//! [--update-baseline] [--root PATH]`.
+//! CLI: `cargo run -p incite-lint -- check [--baseline PATH]
+//! [--format json|text] [--update-baseline] [--root PATH]`.
 //!
-//! Exit codes: 0 clean (or baseline updated), 1 new violations, 2 usage or
-//! I/O error.
+//! Exit codes: 0 clean (or baseline updated), 1 new violations, 2 usage,
+//! I/O, or baseline-ledger error.
 
 use incite_lint::baseline::Baseline;
 use incite_lint::engine;
@@ -15,12 +15,14 @@ incite-lint: workspace static analysis
 
 USAGE:
     incite-lint check [OPTIONS]
-    incite-lint rules
+    incite-lint rules       (alias: --list-rules)
 
 OPTIONS:
     --baseline <PATH>    Baseline file (default: <root>/lint.baseline.json)
     --update-baseline    Rewrite the baseline from current findings and exit 0
-    --json               Emit the machine-readable report on stdout
+    --format <FMT>       Report format: `text` (rustc-style, default) or
+                         `json` (machine-readable, on stdout)
+    --json               Shorthand for --format json
     --root <PATH>        Workspace root (default: current directory)
 ";
 
@@ -48,6 +50,18 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
             }
             "--update-baseline" => args.update_baseline = true,
             "--json" => args.json = true,
+            "--format" => {
+                let v = argv.next().ok_or("--format requires `json` or `text`")?;
+                match v.as_str() {
+                    "json" => args.json = true,
+                    "text" => args.json = false,
+                    other => {
+                        return Err(format!(
+                            "unknown format `{other}` (expected `json` or `text`)\n\n{USAGE}"
+                        ))
+                    }
+                }
+            }
             "--root" => {
                 let v = argv.next().ok_or("--root requires a path")?;
                 args.root = PathBuf::from(v);
@@ -68,7 +82,7 @@ fn main() -> ExitCode {
     };
     match command.as_str() {
         "check" => check(args),
-        "rules" => {
+        "rules" | "--list-rules" | "list-rules" => {
             for rule in CATALOG {
                 println!("{}: {}", rule.id, rule.summary);
             }
@@ -130,18 +144,19 @@ fn check(args: Args) -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    // The ledger must describe reality exactly: an entry above the
+    // current count (stale after a pay-down, or hand-inflated) is a
+    // typed hard error, not a note.
+    if let Err(e) = baseline.verify(&report.findings) {
+        eprintln!("error: {}: {e}", baseline_path.display());
+        return ExitCode::from(2);
+    }
+
     if args.json {
         print!("{}", engine::report_json(&report));
     } else {
         for f in &report.comparison.new_findings {
             eprintln!("{}\n", f.render());
-        }
-        for (rule, file, now, was) in &report.comparison.improved {
-            eprintln!(
-                "note[{rule}]: {file} improved to {now} finding(s) from {was} \
-                 grandfathered — run `cargo run -p incite-lint -- check \
-                 --update-baseline` to ratchet the baseline down"
-            );
         }
         eprintln!(
             "incite-lint: {} file(s), {} finding(s) ({} grandfathered, {} new)",

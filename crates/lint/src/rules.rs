@@ -95,6 +95,24 @@ pub const CATALOG: &[RuleInfo] = &[
                   serve crate and the CLI — the network edge stays behind \
                   incite-serve's typed HTTP surface",
     },
+    RuleInfo {
+        id: "INC008",
+        summary: "workspace locks are acquired in one consistent order — the \
+                  item graph must not show the same two locks taken in both \
+                  orders anywhere (potential deadlock)",
+    },
+    RuleInfo {
+        id: "INC009",
+        summary: "no blocking operation (file I/O via checkpoint::atomic_io, \
+                  thread::sleep, Condvar::wait, channel recv, TcpStream reads, \
+                  join) while a Mutex/RwLock guard is live",
+    },
+    RuleInfo {
+        id: "INC010",
+        summary: "serve request handlers only grow buffers (push/extend/\
+                  push_str) inside loops under a visible bound — with_capacity \
+                  pre-allocation or a max_batch/queue_depth/constant check",
+    },
 ];
 
 /// Crates whose library code must be panic-free (INC001).

@@ -1,0 +1,59 @@
+//! Seeded INC008/INC009 violations for the graph-rule integration
+//! test. This tree is fixture data the linter scans; it is not part
+//! of the cargo workspace and never compiles.
+
+use std::sync::{Mutex, MutexGuard};
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    fn lock_a(&self) -> MutexGuard<'_, u32> {
+        match self.a.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn lock_b(&self) -> MutexGuard<'_, u32> {
+        match self.b.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Acquires `a` then `b`.
+    pub fn transfer(&self) -> u32 {
+        let ga = self.lock_a();
+        let gb = self.lock_b();
+        *ga + *gb
+    }
+
+    /// Acquires `b` then `a`: the opposite order. One of these two
+    /// functions must change for the workspace to be deadlock-free.
+    pub fn audit(&self) -> u32 {
+        let gb = self.lock_b();
+        let ga = self.lock_a();
+        *ga + *gb
+    }
+
+    /// Sleeps while holding `a`.
+    pub fn throttle(&self) {
+        let guard = self.lock_a();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        drop(guard);
+    }
+
+    /// Blocks through a callee while holding `a`.
+    pub fn settle(&self) {
+        let guard = self.lock_a();
+        self.flush();
+        drop(guard);
+    }
+
+    fn flush(&self) {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+}

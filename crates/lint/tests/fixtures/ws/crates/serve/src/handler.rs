@@ -1,0 +1,38 @@
+//! Seeded INC010 violation plus bounded variants that must stay
+//! clean. Fixture data only; never compiled.
+
+pub fn route(texts: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    for text in texts {
+        out.push(normalize(text));
+    }
+    let _ = bounded(texts);
+    let _ = preallocated(texts);
+    out
+}
+
+fn normalize(text: &str) -> String {
+    text.trim().to_string()
+}
+
+/// Growth capped by a `max_batch` check: clean.
+fn bounded(texts: &[String]) -> Vec<String> {
+    let max_batch = 64;
+    let mut out = Vec::new();
+    for text in texts {
+        if out.len() >= max_batch {
+            break;
+        }
+        out.push(text.trim().to_string());
+    }
+    out
+}
+
+/// Growth into a pre-allocated buffer: clean.
+fn preallocated(texts: &[String]) -> Vec<String> {
+    let mut out = Vec::with_capacity(texts.len());
+    for text in texts {
+        out.push(text.trim().to_string());
+    }
+    out
+}
