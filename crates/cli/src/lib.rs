@@ -125,14 +125,16 @@ fn load_corpus_lines(
     let (docs, stats): (_, QuarantineStats) =
         jsonl::read_jsonl_quarantine(file).map_err(|e| err(format!("parse corpus: {e}")))?;
     if stats.quarantined() > 0 {
-        let (line, reason) = stats
+        // `reason` names the line and byte offset itself and is redacted
+        // at its source (corpus::redact_excerpt) — safe to print.
+        let (_, reason) = stats
             .first_error
             .clone()
             .unwrap_or((0, "unknown".to_string()));
         writeln!(
             out,
             "warning: quarantined {} corpus line(s) ({} malformed, {} non-UTF-8, {} truncated); \
-             first at line {line}: {reason}",
+             first: {reason}",
             stats.quarantined(),
             stats.malformed,
             stats.non_utf8,

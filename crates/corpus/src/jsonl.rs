@@ -23,8 +23,14 @@ pub enum JsonlError {
     Io(io::Error),
     /// A line is not valid UTF-8.
     NonUtf8 { line: usize },
-    /// A line is not a valid document record.
-    Malformed { line: usize, detail: String },
+    /// A line is not a valid document record. Carries the line's byte
+    /// offset in the stream and a structurally redacted excerpt — never
+    /// the raw bytes, which may hold victim text (DESIGN.md §8, §15).
+    Malformed {
+        line: usize,
+        offset: u64,
+        excerpt: String,
+    },
     /// The final line ended without a newline mid-record (interrupted
     /// transfer) and does not parse.
     Truncated { line: usize },
@@ -35,7 +41,16 @@ impl fmt::Display for JsonlError {
         match self {
             JsonlError::Io(e) => write!(f, "jsonl read failed: {e}"),
             JsonlError::NonUtf8 { line } => write!(f, "line {line}: not valid UTF-8"),
-            JsonlError::Malformed { line, detail } => write!(f, "line {line}: {detail}"),
+            JsonlError::Malformed {
+                line,
+                offset,
+                excerpt,
+            } => {
+                write!(
+                    f,
+                    "line {line} (byte offset {offset}): unparseable record; shape: {excerpt}"
+                )
+            }
             JsonlError::Truncated { line } => {
                 write!(f, "line {line}: truncated record (missing final newline)")
             }
@@ -92,6 +107,29 @@ impl QuarantineStats {
     }
 }
 
+/// How many leading bytes of a bad line survive (redacted) in diagnostics.
+const EXCERPT_BYTES: usize = 40;
+
+/// Structural redaction for diagnostics: JSON punctuation and spacing
+/// survive, every other byte becomes `*`, and the output is capped at
+/// `max` bytes (`..` marks truncation). The result shows the *shape* of a
+/// bad record — `{"***": "* ********"}` — without disclosing any content,
+/// so it is safe for logs, error types, and quarantine reports.
+pub fn redact_excerpt(raw: &[u8], max: usize) -> String {
+    let mut out = String::with_capacity(max.min(raw.len()) + 2);
+    for &b in raw.iter().take(max) {
+        out.push(match b {
+            b'{' | b'}' | b'[' | b']' | b':' | b',' | b'"' => b as char,
+            b' ' | b'\t' => ' ',
+            _ => '*',
+        });
+    }
+    if raw.len() > max {
+        out.push_str("..");
+    }
+    out
+}
+
 /// Writes documents as one JSON object per line.
 pub fn write_jsonl<W: Write>(writer: W, docs: &[Document]) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
@@ -108,6 +146,7 @@ pub fn write_jsonl<W: Write>(writer: W, docs: &[Document]) -> io::Result<()> {
 fn parse_line(
     raw: &[u8],
     lineno: usize,
+    offset: u64,
     has_newline: bool,
 ) -> Result<Option<Document>, JsonlError> {
     let Ok(text) = std::str::from_utf8(raw) else {
@@ -119,22 +158,28 @@ fn parse_line(
     match serde_json::from_str::<Document>(text) {
         Ok(doc) => Ok(Some(doc)),
         Err(_) if !has_newline => Err(JsonlError::Truncated { line: lineno }),
-        Err(e) => Err(JsonlError::Malformed {
+        // Deliberately drops the parser's own message: it interpolates
+        // fragments of the raw line, which may be victim text. The byte
+        // offset plus a shape-only excerpt is enough to find the record.
+        Err(_) => Err(JsonlError::Malformed {
             line: lineno,
-            detail: e.to_string(),
+            offset,
+            excerpt: redact_excerpt(raw, EXCERPT_BYTES),
         }),
     }
 }
 
-/// Byte-level line iteration shared by both readers. Calls `sink` per line;
-/// a `sink` error aborts (strict mode), `Ok(())` continues.
+/// Byte-level line iteration shared by both readers. Calls `sink` per line
+/// with the line's 1-based number and starting byte offset; a `sink` error
+/// aborts (strict mode), `Ok(())` continues.
 fn for_each_line<R: Read>(
     reader: R,
-    mut sink: impl FnMut(&[u8], usize, bool) -> Result<(), JsonlError>,
+    mut sink: impl FnMut(&[u8], usize, u64, bool) -> Result<(), JsonlError>,
 ) -> Result<(), JsonlError> {
     let mut reader = BufReader::new(reader);
     let mut raw = Vec::new();
     let mut lineno = 0;
+    let mut offset: u64 = 0;
     loop {
         raw.clear();
         let n = reader.read_until(b'\n', &mut raw).map_err(JsonlError::Io)?;
@@ -142,6 +187,8 @@ fn for_each_line<R: Read>(
             return Ok(());
         }
         lineno += 1;
+        let line_offset = offset;
+        offset += n as u64;
         let has_newline = raw.last() == Some(&b'\n');
         let line = if has_newline {
             &raw[..raw.len() - 1]
@@ -150,7 +197,7 @@ fn for_each_line<R: Read>(
         };
         // Tolerate CRLF crawler output.
         let line = line.strip_suffix(b"\r").unwrap_or(line);
-        sink(line, lineno, has_newline)?;
+        sink(line, lineno, line_offset, has_newline)?;
     }
 }
 
@@ -159,8 +206,8 @@ fn for_each_line<R: Read>(
 /// typed [`JsonlError`] naming its line number.
 pub fn read_jsonl<R: Read>(reader: R) -> Result<Vec<Document>, JsonlError> {
     let mut docs = Vec::new();
-    for_each_line(reader, |raw, lineno, has_newline| {
-        if let Some(doc) = parse_line(raw, lineno, has_newline)? {
+    for_each_line(reader, |raw, lineno, offset, has_newline| {
+        if let Some(doc) = parse_line(raw, lineno, offset, has_newline)? {
             docs.push(doc);
         }
         Ok(())
@@ -177,8 +224,8 @@ pub fn read_jsonl_quarantine<R: Read>(
 ) -> Result<(Vec<Document>, QuarantineStats), JsonlError> {
     let mut docs = Vec::new();
     let mut stats = QuarantineStats::default();
-    for_each_line(reader, |raw, lineno, has_newline| {
-        match parse_line(raw, lineno, has_newline) {
+    for_each_line(reader, |raw, lineno, offset, has_newline| {
+        match parse_line(raw, lineno, offset, has_newline) {
             Ok(Some(doc)) => docs.push(doc),
             Ok(None) => {}
             Err(JsonlError::Io(e)) => return Err(JsonlError::Io(e)),
@@ -224,7 +271,49 @@ mod tests {
         let data = b"{\"not\": \"a document\"}\n";
         let err = read_jsonl(&data[..]).unwrap_err();
         assert!(err.to_string().contains("line 1"));
-        assert!(matches!(err, JsonlError::Malformed { line: 1, .. }));
+        assert!(matches!(
+            err,
+            JsonlError::Malformed {
+                line: 1,
+                offset: 0,
+                ..
+            }
+        ));
+    }
+
+    /// The malformed-line diagnostic carries the byte offset of the bad
+    /// record and a shape-only excerpt: no byte of the raw line — which in
+    /// production is victim text — may survive into the error message.
+    #[test]
+    fn malformed_diagnostics_are_offset_plus_redacted_shape() {
+        let mut data = Vec::new();
+        data.extend_from_slice(b"\n\n"); // two blank lines before the offender
+        data.extend_from_slice(b"{\"not\": \"J. Doe, 12 Main St\"}\n");
+        let err = read_jsonl(&data[..]).unwrap_err();
+        let JsonlError::Malformed {
+            line,
+            offset,
+            excerpt,
+        } = &err
+        else {
+            panic!("expected Malformed, got {err:?}");
+        };
+        assert_eq!(*line, 3);
+        assert_eq!(*offset, 2);
+        assert_eq!(excerpt, "{\"***\": \"** ***, ** **** **\"}");
+        let msg = err.to_string();
+        for leaked in ["not", "Doe", "Main", "12"] {
+            assert!(!msg.contains(leaked), "content leaked into {msg:?}");
+        }
+        assert!(msg.contains("byte offset 2"), "{msg}");
+    }
+
+    #[test]
+    fn excerpt_redacts_and_caps() {
+        assert_eq!(redact_excerpt(b"{\"a\": 1}", 40), "{\"*\": *}");
+        assert_eq!(redact_excerpt(b"abcdef", 4), "****..");
+        assert_eq!(redact_excerpt("héllo".as_bytes(), 40), "******");
+        assert_eq!(redact_excerpt(b"", 40), "");
     }
 
     #[test]
@@ -260,6 +349,9 @@ mod tests {
         let (line, reason) = stats.first_error.clone().unwrap();
         assert_eq!(line, 2);
         assert!(reason.contains("line 2"), "{reason}");
+        // The quarantine report must not echo the offending record.
+        assert!(!reason.contains("document"), "content leaked: {reason}");
+        assert!(reason.contains("shape: {\"***\":"), "{reason}");
     }
 
     #[test]

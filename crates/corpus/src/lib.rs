@@ -47,4 +47,6 @@ pub mod textgen;
 pub use config::CorpusConfig;
 pub use document::{DocId, Document, GroundTruth, ThreadRef};
 pub use generator::{generate, Corpus};
-pub use jsonl::{read_jsonl, read_jsonl_quarantine, write_jsonl, JsonlError, QuarantineStats};
+pub use jsonl::{
+    read_jsonl, read_jsonl_quarantine, redact_excerpt, write_jsonl, JsonlError, QuarantineStats,
+};
