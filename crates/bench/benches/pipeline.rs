@@ -13,7 +13,7 @@ use incite_ml::{FeatureMode, FeaturizerConfig, TextClassifier, TrainConfig};
 use incite_taxonomy::Platform;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 fn bench_bootstrap_query(c: &mut Criterion) {
     let corpus = generate(&CorpusConfig::tiny(3));
@@ -71,7 +71,7 @@ fn bench_sampling_and_threshold(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("pipeline_stages");
     group.bench_function("decile_sample", |b| {
-        let labeled = HashSet::new();
+        let labeled = BTreeSet::new();
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(7);
             decile_sample(&scores, 40, &labeled, &mut rng).len()

@@ -14,7 +14,7 @@ use incite_corpus::{Corpus, DocId, Document};
 use incite_ml::{FeatureCache, TextClassifier};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Statistics from one active-learning round.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -34,7 +34,7 @@ pub struct RoundStats {
 pub fn decile_sample(
     scores: &[(DocId, f32)],
     per_decile: usize,
-    already_labeled: &HashSet<DocId>,
+    already_labeled: &BTreeSet<DocId>,
     rng: &mut StdRng,
 ) -> Vec<DocId> {
     let mut buckets: Vec<Vec<DocId>> = vec![Vec::new(); 10];
@@ -78,11 +78,11 @@ pub fn active_learning_round(
     failpoints: &FailpointRegistry,
     rng: &mut StdRng,
 ) -> Result<RoundStats, InjectedFault> {
-    let labeled: HashSet<DocId> = training.iter().map(|(id, _, _)| *id).collect();
+    let labeled: BTreeSet<DocId> = training.iter().map(|(id, _, _)| *id).collect();
     let sampled_ids = decile_sample(scores, per_decile, &labeled, rng);
 
     // Look up the sampled documents.
-    let by_id: std::collections::HashMap<DocId, &Document> =
+    let by_id: std::collections::BTreeMap<DocId, &Document> =
         corpus.documents.iter().map(|d| (d.id, d)).collect();
     let sampled_docs: Vec<&Document> = sampled_ids
         .iter()
@@ -133,10 +133,10 @@ mod tests {
     fn decile_sampling_covers_all_ranges() {
         let mut rng = StdRng::seed_from_u64(4);
         let s = scores(1000);
-        let sampled = decile_sample(&s, 5, &HashSet::new(), &mut rng);
+        let sampled = decile_sample(&s, 5, &BTreeSet::new(), &mut rng);
         assert_eq!(sampled.len(), 50);
         // Every decile contributes: ids 0..100 → decile 0, 900..1000 → 9.
-        let mut deciles: HashSet<usize> = sampled.iter().map(|id| (id.0 / 100) as usize).collect();
+        let mut deciles: BTreeSet<usize> = sampled.iter().map(|id| (id.0 / 100) as usize).collect();
         deciles.remove(&10); // score exactly 1.0 edge
         assert_eq!(deciles.len(), 10, "{deciles:?}");
     }
@@ -145,7 +145,7 @@ mod tests {
     fn decile_sampling_skips_labeled() {
         let mut rng = StdRng::seed_from_u64(4);
         let s = scores(100);
-        let labeled: HashSet<DocId> = (0..50).map(DocId).collect();
+        let labeled: BTreeSet<DocId> = (0..50).map(DocId).collect();
         let sampled = decile_sample(&s, 10, &labeled, &mut rng);
         assert!(sampled.iter().all(|id| id.0 >= 50));
     }
@@ -155,7 +155,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         // All scores near zero: only decile 0 is populated.
         let s: Vec<(DocId, f32)> = (0..100).map(|i| (DocId(i), 0.01)).collect();
-        let sampled = decile_sample(&s, 5, &HashSet::new(), &mut rng);
+        let sampled = decile_sample(&s, 5, &BTreeSet::new(), &mut rng);
         assert_eq!(sampled.len(), 5);
     }
 
@@ -163,7 +163,7 @@ mod tests {
     fn scores_above_one_clamp_to_top_decile() {
         let mut rng = StdRng::seed_from_u64(4);
         let s = vec![(DocId(0), 1.0), (DocId(1), 0.999)];
-        let sampled = decile_sample(&s, 5, &HashSet::new(), &mut rng);
+        let sampled = decile_sample(&s, 5, &BTreeSet::new(), &mut rng);
         assert_eq!(sampled.len(), 2);
     }
 }

@@ -25,6 +25,16 @@ pub enum ScoreError {
     WorkerPanic(String),
 }
 
+impl ScoreError {
+    /// Static error-kind descriptor, safe for any diagnostic surface —
+    /// unlike `Display`, it can never embed the panic payload.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ScoreError::WorkerPanic(_) => "scoring worker panicked",
+        }
+    }
+}
+
 impl std::fmt::Display for ScoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -116,12 +126,23 @@ fn lock_unpoisoned<'a, T: ?Sized>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, 
     }
 }
 
-/// Renders a panic payload as text (panics carry `&str` or `String`).
+/// Renders a panic payload as text, without leaking its content.
+///
+/// `&str` payloads come from literal `panic!("…")` messages and carry no
+/// runtime data, so they pass through. Formatted (`String`) payloads may
+/// interpolate whatever the worker was holding — including document
+/// text — so only their shape (length + content digest) survives. This
+/// is the registered `panic_message` sanitizer in the incite-lint taint
+/// model; the structure here is what makes that registration true.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
+        format!(
+            "formatted panic payload redacted ({} bytes, fnv64 {:016x})",
+            s.len(),
+            incite_textkit::fnv1a(s.as_bytes(), 0)
+        )
     } else {
         "worker panicked with a non-string payload".to_string()
     }
@@ -157,8 +178,19 @@ mod tests {
             i as u32
         });
         match result {
+            // Formatted panic payloads may interpolate worker inputs, so
+            // only their shape (length + digest) survives — the payload
+            // text itself must NOT appear in the error.
             Err(ScoreError::WorkerPanic(msg)) => {
-                assert!(msg.contains("injected failure"), "message: {msg}")
+                assert!(
+                    msg.contains("redacted") && msg.contains("bytes, fnv64 "),
+                    "message: {msg}"
+                );
+                assert!(!msg.contains("injected failure"), "payload leaked: {msg}");
+                assert_eq!(
+                    ScoreError::WorkerPanic(msg).kind(),
+                    "scoring worker panicked"
+                );
             }
             other => panic!("expected WorkerPanic, got {other:?}"),
         }

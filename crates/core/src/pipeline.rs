@@ -34,7 +34,7 @@ use incite_taxonomy::Platform;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -271,7 +271,7 @@ pub struct PipelineOutcome {
     pub eval: EvalReport,
     /// Final training-set composition per platform: (positives, negatives)
     /// — the Table 2 reproduction.
-    pub training_by_platform: HashMap<Platform, (usize, usize)>,
+    pub training_by_platform: BTreeMap<Platform, (usize, usize)>,
     /// Full classifier scores for every applicable document (consumed by
     /// the thread-overlap analysis, §6.3).
     pub scores: Vec<(DocId, f32)>,
@@ -787,12 +787,12 @@ fn drive(
     }
 
     // Table 2 accounting: training labels per platform.
-    let platform_of: HashMap<DocId, Platform> = corpus
+    let platform_of: BTreeMap<DocId, Platform> = corpus
         .documents
         .iter()
         .map(|d| (d.id, d.platform))
         .collect();
-    let mut training_by_platform: HashMap<Platform, (usize, usize)> = HashMap::new();
+    let mut training_by_platform: BTreeMap<Platform, (usize, usize)> = BTreeMap::new();
     for (id, _, label) in &training {
         if let Some(p) = platform_of.get(id) {
             let entry = training_by_platform.entry(*p).or_default();

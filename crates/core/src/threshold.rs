@@ -15,7 +15,7 @@ use incite_taxonomy::Platform;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Parameters for the threshold search.
 #[derive(Debug, Clone, Copy)]
@@ -75,7 +75,7 @@ impl PlatformThreshold {
 /// Estimates precision above a threshold by expert-annotating a sample.
 fn probe_precision(
     ids_above: &[DocId],
-    truth: &HashMap<DocId, bool>,
+    truth: &BTreeMap<DocId, bool>,
     expert: &Annotator,
     sample: usize,
     rng: &mut StdRng,
@@ -115,7 +115,7 @@ pub fn select_threshold(
     annotation_budget: usize,
     rng: &mut StdRng,
 ) -> PlatformThreshold {
-    let truth: HashMap<DocId, bool> = corpus
+    let truth: BTreeMap<DocId, bool> = corpus
         .by_platform(platform)
         .map(|d| (d.id, task.truth(d)))
         .collect();

@@ -342,6 +342,7 @@ mod tests {
             file: file.to_string(),
             line,
             message: "m".into(),
+            trace: Vec::new(),
         }
     }
 

@@ -105,6 +105,7 @@ fn inc008_lock_order(ws: &Workspace<'_>, findings: &mut Vec<Finding>) {
                      `{a}` and `{b}` can deadlock",
                     p.second, p.first, o.file, o.line
                 ),
+                trace: Vec::new(),
             });
         }
     }
@@ -123,6 +124,7 @@ fn inc009_blocking_under_lock(ws: &Workspace<'_>, findings: &mut Vec<Finding>) {
                  before blocking (drop the guard or narrow its scope)",
                 site.what, site.guard
             ),
+            trace: Vec::new(),
         });
     }
 }
@@ -190,6 +192,7 @@ fn inc010_unbounded_growth(ws: &Workspace<'_>, findings: &mut Vec<Finding>) {
                              `queue_depth` limit",
                             node.name
                         ),
+                        trace: Vec::new(),
                     });
                 }
             }

@@ -9,6 +9,7 @@ use crate::graph;
 use crate::lexer::MaskedFile;
 use crate::rules::{self, Finding};
 use crate::spec;
+use crate::taint;
 use std::collections::BTreeMap;
 use std::fs;
 use std::io;
@@ -104,6 +105,11 @@ pub fn run(root: &Path, baseline: &Baseline) -> io::Result<Report> {
     fuel += ws.fuel;
     findings.extend(concurrency::check(&ws));
 
+    // Pass 3: interprocedural taint & purity dataflow (INC011–INC013).
+    let (taint_findings, taint_fuel) = taint::check(&ws);
+    fuel += taint_fuel;
+    findings.extend(taint_findings);
+
     findings
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
 
@@ -121,14 +127,22 @@ pub fn report_json(report: &Report) -> String {
     let mut out = String::from("{\n  \"findings\": [\n");
     let grandfathered_ok = |f: &Finding| !report.comparison.new_findings.contains(f);
     for (i, f) in report.findings.iter().enumerate() {
+        let trace = f
+            .trace
+            .iter()
+            .map(|t| format!("\"{}\"", escape(t)))
+            .collect::<Vec<_>>()
+            .join(", ");
         out.push_str(&format!(
             "    {{\"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \
-             \"line\": {}, \"message\": \"{}\", \"grandfathered\": {}}}{}\n",
+             \"line\": {}, \"message\": \"{}\", \"trace\": [{}], \
+             \"grandfathered\": {}}}{}\n",
             f.rule,
             f.severity.as_str(),
             escape(&f.file),
             f.line,
             escape(&f.message),
+            trace,
             grandfathered_ok(f),
             if i + 1 == report.findings.len() {
                 ""

@@ -56,32 +56,61 @@ pub struct FnNode {
     pub lock_params: Vec<String>,
     /// Locals declared with a lock type in this body.
     pub local_locks: BTreeSet<String>,
-    events: Vec<Event>,
+    pub(crate) events: Vec<Event>,
     /// Resolved workspace callees (deduplicated, sorted).
     pub edges: Vec<usize>,
 }
 
 #[derive(Debug)]
-enum Event {
-    Open,
+pub(crate) enum Event {
+    Open {
+        off: usize,
+    },
     Close,
-    Semi,
-    Let { var: Option<String> },
+    Semi {
+        off: usize,
+    },
+    Let {
+        var: Option<String>,
+        off: usize,
+    },
     Call(CallEvent),
+    /// A macro invocation with parenthesized arguments (`format!(…)`,
+    /// `println!(…)`); contents are still scanned for nested calls.
+    Macro(MacroEvent),
+    /// A qualified brace construction (`Enum::Variant { … }`); the brace
+    /// itself still produces its own `Open`/`Close` events.
+    Ctor(CtorEvent),
 }
 
 #[derive(Debug)]
-struct CallEvent {
-    off: usize,
+pub(crate) struct CallEvent {
+    pub(crate) off: usize,
     /// Path / receiver segments, e.g. `self.available.wait_timeout` →
     /// `["self", "available", "wait_timeout"]`.
-    segs: Vec<String>,
+    pub(crate) segs: Vec<String>,
     /// The final separator was `.` (method call) rather than `::`.
-    dotted: bool,
+    pub(crate) dotted: bool,
     /// Receiver began mid-expression (`foo().bar(…)`): unresolvable.
-    opaque_recv: bool,
+    pub(crate) opaque_recv: bool,
     /// Trimmed top-level argument texts (capped).
-    args: Vec<String>,
+    pub(crate) args: Vec<String>,
+}
+
+#[derive(Debug)]
+pub(crate) struct MacroEvent {
+    /// Offset of the opening `(`.
+    pub(crate) off: usize,
+    /// Macro name (last path segment): `format`, `println`, `writeln`…
+    pub(crate) name: String,
+}
+
+#[derive(Debug)]
+pub(crate) struct CtorEvent {
+    /// Offset of the opening `{`.
+    pub(crate) off: usize,
+    /// Path segments, e.g. `["JsonlError", "Malformed"]`.
+    pub(crate) segs: Vec<String>,
 }
 
 /// A two-lock observation: `second` acquired while `first` was live.
@@ -114,6 +143,10 @@ pub struct Workspace<'a> {
     pub blocking_t: Vec<bool>,
     pub pairs: Vec<PairSite>,
     pub blocked: Vec<BlockSite>,
+    /// Per function: `(event index, callee fn index)` for every call
+    /// event that resolved to a workspace function — the taint pass
+    /// walks these without re-running resolution.
+    pub(crate) call_targets: Vec<Vec<(usize, usize)>>,
     /// Work units consumed building the graph (bytes + events).
     pub fuel: u64,
 }
@@ -246,6 +279,7 @@ pub fn build<'a>(sources: &[(String, &'a MaskedFile)]) -> Workspace<'a> {
         }
         classified.push(list);
     }
+    let mut call_targets: Vec<Vec<(usize, usize)>> = Vec::with_capacity(fns.len());
     for (idx, list) in classified.iter().enumerate() {
         let mut edges: Vec<usize> = list
             .iter()
@@ -257,6 +291,14 @@ pub fn build<'a>(sources: &[(String, &'a MaskedFile)]) -> Workspace<'a> {
         edges.sort_unstable();
         edges.dedup();
         fns[idx].edges = edges;
+        call_targets.push(
+            list.iter()
+                .filter_map(|(ei, c)| match c {
+                    Classified::CallEdge { callee, .. } => Some((*ei, *callee)),
+                    _ => None,
+                })
+                .collect(),
+        );
     }
 
     // B2: transitive acquisitions to fixpoint, with param substitution.
@@ -359,6 +401,7 @@ pub fn build<'a>(sources: &[(String, &'a MaskedFile)]) -> Workspace<'a> {
         blocking_t,
         pairs,
         blocked,
+        call_targets,
         fuel,
     }
 }
@@ -795,7 +838,7 @@ fn replay(
 
     for (ei, ev) in node.events.iter().enumerate() {
         match ev {
-            Event::Open => {
+            Event::Open { .. } => {
                 depth += 1;
                 active_let = None;
             }
@@ -803,13 +846,13 @@ fn replay(
                 guards.retain(|g| g.depth < depth);
                 depth = depth.saturating_sub(1);
             }
-            Event::Semi => {
+            Event::Semi { .. } => {
                 guards.retain(|g| !(g.var.is_none() && g.depth == depth));
                 if active_let.as_ref().is_some_and(|(_, d)| *d == depth) {
                     active_let = None;
                 }
             }
-            Event::Let { var } => {
+            Event::Let { var, .. } => {
                 active_let = Some((var.clone(), depth));
             }
             Event::Call(call) => {
@@ -930,6 +973,8 @@ fn replay(
                     Classified::Noise => {}
                 }
             }
+            // Taint-pass events: no guard-liveness meaning.
+            Event::Macro(_) | Event::Ctor(_) => {}
         }
     }
 }
@@ -981,7 +1026,7 @@ fn extract_events(bytes: &[u8], body: Span) -> (Vec<Event>, BTreeSet<String>) {
         let b = bytes[i];
         match b {
             b'{' => {
-                events.push(Event::Open);
+                events.push(Event::Open { off: i });
                 i += 1;
             }
             b'}' => {
@@ -989,7 +1034,7 @@ fn extract_events(bytes: &[u8], body: Span) -> (Vec<Event>, BTreeSet<String>) {
                 i += 1;
             }
             b';' => {
-                events.push(Event::Semi);
+                events.push(Event::Semi { off: i });
                 i += 1;
             }
             b'.' if i + 1 < end && is_ident_start(bytes[i + 1]) => {
@@ -1010,7 +1055,7 @@ fn extract_events(bytes: &[u8], body: Span) -> (Vec<Event>, BTreeSet<String>) {
                             locals.insert(v.clone());
                         }
                     }
-                    events.push(Event::Let { var });
+                    events.push(Event::Let { var, off: i });
                     i = after;
                 } else if BODY_KEYWORDS.contains(&word) {
                     i = word_end;
@@ -1095,7 +1140,9 @@ fn read_chain(bytes: &[u8], from: usize, end: usize) -> (Vec<String>, bool, usiz
 
 /// After a chain: a `(` makes it a call (args captured, scanning resumes
 /// *inside* the args so nested calls are seen); a `!` makes it a macro
-/// (no event, contents still scanned). Returns the resume offset.
+/// event (contents still scanned); a `{` after a qualified
+/// uppercase-ending path makes it a constructor event (the brace still
+/// emits `Open`). Returns the resume offset.
 fn finish_chain(
     bytes: &[u8],
     after: usize,
@@ -1107,8 +1154,34 @@ fn finish_chain(
 ) -> usize {
     let j = skip_ws(bytes, after, end);
     if j < end && bytes[j] == b'!' {
-        // Macro invocation: skip the bang, keep scanning its arguments.
+        // Macro invocation: record it when parenthesized (`format!(…)`),
+        // then keep scanning its arguments either way. `!=` is the
+        // operator, not a macro bang.
+        let k = skip_ws(bytes, j + 1, end);
+        if k < end && bytes[k] == b'(' && bytes.get(j + 1) != Some(&b'=') {
+            if let Some(name) = segs.last() {
+                events.push(Event::Macro(MacroEvent {
+                    off: k,
+                    name: name.clone(),
+                }));
+            }
+        }
         return j + 1;
+    }
+    if j < end
+        && bytes[j] == b'{'
+        && segs.len() >= 2
+        && !dotted
+        && !opaque_recv
+        && segs
+            .last()
+            .is_some_and(|s| s.chars().next().is_some_and(char::is_uppercase))
+    {
+        // `Enum::Variant { … }` (or a qualified struct literal): the
+        // taint pass checks whether the fields feed an error variant.
+        // Resume *at* the brace so it still opens a scope event.
+        events.push(Event::Ctor(CtorEvent { off: j, segs }));
+        return j;
     }
     if j < end && bytes[j] == b'(' {
         let close = matching_paren(bytes, j, end);
@@ -1137,7 +1210,7 @@ fn finish_chain(
 }
 
 /// Offset of the `)` matching the `(` at `open` (or `end`).
-fn matching_paren(bytes: &[u8], open: usize, end: usize) -> usize {
+pub(crate) fn matching_paren(bytes: &[u8], open: usize, end: usize) -> usize {
     let mut depth = 0i32;
     let mut j = open;
     while j < end {

@@ -73,12 +73,31 @@ pub struct UseItem {
     pub line: usize,
 }
 
+/// One variant of an `enum` item.
+#[derive(Debug)]
+pub struct VariantItem {
+    pub name: String,
+    /// Whether the payload (tuple or named fields) can carry text:
+    /// `String`, `str`, `Vec<String>`, …
+    pub carries_text: bool,
+}
+
+/// An `enum` item with its variants — the taint pass uses these to spot
+/// error variants constructed from unredacted document text (INC013).
+#[derive(Debug)]
+pub struct EnumItem {
+    pub name: String,
+    pub line: usize,
+    pub variants: Vec<VariantItem>,
+}
+
 /// Everything pass 1 extracts from one file.
 #[derive(Debug, Default)]
 pub struct FileItems {
     pub fns: Vec<FnItem>,
     pub locks: Vec<LockDecl>,
     pub uses: Vec<UseItem>,
+    pub enums: Vec<EnumItem>,
 }
 
 /// Parses the item structure of a masked file.
@@ -152,6 +171,7 @@ impl Parser<'_> {
                 b"mod" => i = self.parse_mod(i, to),
                 b"impl" | b"trait" => i = self.parse_impl_like(word == b"impl", i, to),
                 b"struct" => i = self.parse_struct(i, to),
+                b"enum" => i = self.parse_enum(i, to),
                 b"static" => i = self.parse_static(i, to),
                 b"use" => i = self.parse_use(start, i, to),
                 b"macro_rules" => i = self.skip_braced_body(i, to),
@@ -349,6 +369,43 @@ impl Parser<'_> {
             // Tuple / unit structs: no named lock fields to record.
             _ => self.skip_braced_body(j, to),
         }
+    }
+
+    fn parse_enum(&mut self, i: usize, to: usize) -> usize {
+        let Some((name, after_name)) = self.read_ident(i, to) else {
+            return i;
+        };
+        let after_generics = self.skip_generics(after_name, to);
+        let j = self.skip_ws(after_generics, to);
+        if j >= to || self.bytes[j] != b'{' {
+            return self.skip_braced_body(j, to);
+        }
+        let close = matching_brace(self.bytes, j).unwrap_or(to);
+        let body = String::from_utf8_lossy(&self.bytes[j + 1..close.min(to)]).into_owned();
+        let mut variants = Vec::new();
+        for variant in split_top_level(&body, ',') {
+            let variant = variant.trim();
+            let Some(vname) = variant
+                .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+                .find(|s| !s.is_empty() && s.chars().next().is_some_and(char::is_uppercase))
+            else {
+                continue;
+            };
+            // The payload is whatever follows the name: `(types)` for
+            // tuple variants, `{ fields }` for struct variants.
+            let payload = &variant[variant.find(vname).unwrap_or(0) + vname.len()..];
+            let carries_text = contains_word(payload, "String") || contains_word(payload, "str");
+            variants.push(VariantItem {
+                name: vname.to_string(),
+                carries_text,
+            });
+        }
+        self.out.enums.push(EnumItem {
+            name,
+            line: line_at(self.lines, i),
+            variants,
+        });
+        (close + 1).min(to)
     }
 
     /// Records `field: Mutex<..>` style declarations from a struct body.
@@ -603,6 +660,31 @@ mod tests {
         let items = parse_src(src);
         assert!(!items.fns[0].in_test);
         assert!(items.fns[1].in_test);
+    }
+
+    #[test]
+    fn enums_record_variants_and_text_payloads() {
+        let src = "enum ScanError {\n    Io(std::io::Error),\n    Corrupt { path: String, detail: String },\n    Eof,\n    Lines(Vec<String>),\n}\nenum Plain { A, B }\n";
+        let items = parse_src(src);
+        assert_eq!(items.enums.len(), 2);
+        let e = &items.enums[0];
+        assert_eq!(e.name, "ScanError");
+        assert_eq!(e.line, 1);
+        let v: Vec<(&str, bool)> = e
+            .variants
+            .iter()
+            .map(|v| (v.name.as_str(), v.carries_text))
+            .collect();
+        assert_eq!(
+            v,
+            vec![
+                ("Io", false),
+                ("Corrupt", true),
+                ("Eof", false),
+                ("Lines", true)
+            ]
+        );
+        assert!(items.enums[1].variants.iter().all(|v| !v.carries_text));
     }
 
     #[test]

@@ -21,18 +21,24 @@ pub struct MaskedFile {
     pub suppressions: Vec<(usize, String)>,
     /// 1-based inclusive line ranges covered by `#[cfg(test)]` items.
     pub test_regions: Vec<(usize, usize)>,
+    /// Format-string interpolation captures: `(masked byte offset, ident)`
+    /// for every `{ident}` / `{ident:spec}` inside a string literal.
+    /// Masking blanks the literal, so these are the only record of which
+    /// locals a `format!`-family call reads — the taint pass needs them.
+    pub captures: Vec<(usize, String)>,
 }
 
 impl MaskedFile {
     /// Masks `source` and extracts pragmas and test regions.
     pub fn new(source: &str) -> MaskedFile {
-        let (masked, comments) = mask(source);
+        let (masked, comments, captures) = mask(source);
         let suppressions = parse_suppressions(&masked, &comments);
         let test_regions = find_test_regions(&masked);
         MaskedFile {
             masked,
             suppressions,
             test_regions,
+            captures,
         }
     }
 
@@ -71,11 +77,16 @@ enum State {
     CharLit,
 }
 
-/// Masks `source`, returning the masked text plus captured line comments.
-fn mask(source: &str) -> (String, Vec<Comment>) {
+/// Masks `source`, returning the masked text plus captured line comments
+/// and format-string interpolation captures.
+fn mask(source: &str) -> (String, Vec<Comment>, Vec<(usize, String)>) {
     let chars: Vec<char> = source.chars().collect();
     let mut out = String::with_capacity(source.len());
     let mut comments = Vec::new();
+    let mut captures = Vec::new();
+    // An in-progress `{ident…` capture inside a string literal: the
+    // masked offset of its `{` plus the ident accumulated so far.
+    let mut capture: Option<(usize, String)> = None;
     let mut state = State::Code;
     let mut line = 1usize;
     let mut current_comment = String::new();
@@ -87,6 +98,32 @@ fn mask(source: &str) -> (String, Vec<Comment>) {
         let next = chars.get(i + 1).copied();
         if c == '\n' {
             line += 1;
+        }
+        if matches!(state, State::Str | State::RawStr(_)) {
+            match &mut capture {
+                Some((off, ident)) => match c {
+                    _ if is_ident_char(c) => ident.push(c),
+                    // `}` ends the capture; `:` starts a format spec —
+                    // either way the ident is complete.
+                    '}' | ':' => {
+                        if ident
+                            .chars()
+                            .next()
+                            .is_some_and(|f| f.is_alphabetic() || f == '_')
+                        {
+                            captures.push((*off, ident.clone()));
+                        }
+                        capture = None;
+                    }
+                    // Anything else (`{{`, `{0}`, `{x.y}`…) is not a plain
+                    // ident capture.
+                    _ => capture = None,
+                },
+                None if c == '{' => capture = Some((out.len(), String::new())),
+                None => {}
+            }
+        } else {
+            capture = None;
         }
         match state {
             State::Code => match c {
@@ -269,7 +306,7 @@ fn mask(source: &str) -> (String, Vec<Comment>) {
             text: current_comment,
         });
     }
-    (out, comments)
+    (out, comments, captures)
 }
 
 fn is_ident_char(c: char) -> bool {
@@ -542,6 +579,27 @@ mod tests {
         let m = MaskedFile::new(src);
         assert_eq!(m.test_regions, vec![(1, 5)]);
         assert!(!m.in_test_region(6));
+    }
+
+    #[test]
+    fn format_captures_are_recorded_with_offsets() {
+        let src = r#"let m = format!("bad {line}: {e:?} {} {{x}} {0}", v);"#;
+        let m = MaskedFile::new(src);
+        let names: Vec<&str> = m.captures.iter().map(|(_, n)| n.as_str()).collect();
+        assert_eq!(names, vec!["line", "e"]);
+        // Offsets fall inside the masked literal and map to the `{`.
+        for (off, _) in &m.captures {
+            let open = src.find('"').unwrap();
+            let close = src.rfind('"').unwrap();
+            assert!((open..close).contains(off), "capture offset {off}");
+        }
+        assert!(!m.masked.contains("line"), "literal content must mask");
+    }
+
+    #[test]
+    fn captures_outside_strings_are_not_recorded() {
+        let m = MaskedFile::new("fn f() { let x = 1; if y { z(); } }");
+        assert!(m.captures.is_empty());
     }
 
     #[test]

@@ -15,11 +15,17 @@
 //! | INC008 | workspace locks are acquired in one consistent order |
 //! | INC009 | no blocking operation while a lock guard is live |
 //! | INC010 | serve request handlers only grow buffers under a bound |
+//! | INC011 | tainted document text never reaches a diagnostic sink |
+//! | INC012 | no nondeterminism source reachable from scoring entries |
+//! | INC013 | error variants carrying String never built from raw text |
 //!
 //! INC001–INC007 are per-file pattern rules over masked text. INC008–
 //! INC010 are graph rules: pass 1 ([`items`], [`graph`]) parses the item
 //! structure of every file and builds an approximate call graph with
 //! lock-site annotations; pass 2 ([`concurrency`]) walks that graph.
+//! INC011–INC013 are dataflow rules: pass 3 ([`taint`]) runs an
+//! interprocedural source→sanitizer→sink taint analysis and a purity
+//! reachability check over the same graph (DESIGN.md §15).
 //!
 //! Findings are ratcheted against `lint.baseline.json` (see [`baseline`]):
 //! grandfathered debt passes, new debt fails, and paid-down debt is
@@ -38,3 +44,4 @@ pub mod items;
 pub mod lexer;
 pub mod rules;
 pub mod spec;
+pub mod taint;

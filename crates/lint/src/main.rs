@@ -6,7 +6,7 @@
 
 use incite_lint::baseline::Baseline;
 use incite_lint::engine;
-use incite_lint::rules::CATALOG;
+use incite_lint::rules::{RuleInfo, CATALOG};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -16,6 +16,7 @@ incite-lint: workspace static analysis
 USAGE:
     incite-lint check [OPTIONS]
     incite-lint rules       (alias: --list-rules)
+    incite-lint explain <RULE>   (alias: --explain; e.g. explain INC011)
 
 OPTIONS:
     --baseline <PATH>    Baseline file (default: <root>/lint.baseline.json)
@@ -73,6 +74,14 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
 }
 
 fn main() -> ExitCode {
+    // `explain` takes a positional rule id, which the flag parser would
+    // reject; route it before the flag loop runs.
+    let mut peek = std::env::args().skip(1);
+    if let Some(first) = peek.next() {
+        if first == "explain" || first == "--explain" {
+            return explain(peek.next());
+        }
+    }
     let (command, args) = match parse_args(std::env::args()) {
         Ok(v) => v,
         Err(msg) => {
@@ -90,6 +99,29 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!("unknown command `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `explain INCxxx`: the full catalog entry for one rule — contract, an
+/// example that fires, and the expected fix — from the same table that
+/// `rules` lists.
+fn explain(id: Option<String>) -> ExitCode {
+    let Some(id) = id else {
+        eprintln!("explain requires a rule id (e.g. `incite-lint explain INC011`)\n\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    match RuleInfo::find(&id.to_ascii_uppercase()) {
+        Some(rule) => {
+            println!("{} — {}", rule.id, rule.summary);
+            println!("\ncontract:\n  {}", rule.contract);
+            println!("\nexample (fires):\n  {}", rule.example);
+            println!("\nfix:\n  {}", rule.fix);
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("unknown rule `{id}` (run `incite-lint rules` for the catalog)");
             ExitCode::from(2)
         }
     }

@@ -35,6 +35,10 @@ pub struct Finding {
     /// 1-based line number (0 for file-level findings).
     pub line: usize,
     pub message: String,
+    /// Dataflow steps for taint findings (INC011–INC013): source → hops
+    /// → sink, one human-readable step per entry. Empty for lexical and
+    /// graph rules.
+    pub trace: Vec<String>,
 }
 
 impl Finding {
@@ -51,10 +55,25 @@ impl Finding {
     }
 }
 
-/// Static description of a rule, used by `--list-rules` and the docs test.
+/// Static description of a rule. One table backs `--list-rules` (id +
+/// summary), `--explain INCxxx` (contract + example + fix) and the docs
+/// test, so the three can never drift apart.
 pub struct RuleInfo {
     pub id: &'static str,
     pub summary: &'static str,
+    /// The invariant the rule enforces, stated as a contract.
+    pub contract: &'static str,
+    /// A minimal violating snippet (or scenario) that fires the rule.
+    pub example: &'static str,
+    /// How to bring violating code back into contract.
+    pub fix: &'static str,
+}
+
+impl RuleInfo {
+    /// Catalog lookup by rule id (`"INC011"` → its entry).
+    pub fn find(id: &str) -> Option<&'static RuleInfo> {
+        CATALOG.iter().find(|r| r.id == id)
+    }
 }
 
 /// The shipped catalog.
@@ -63,55 +82,167 @@ pub const CATALOG: &[RuleInfo] = &[
         id: "INC001",
         summary: "no unwrap()/expect()/panic!/todo! in library code of \
                   core, ml, pii, regexlite, stats, cli (tests and benches exempt)",
+        contract: "Library code in core, ml, pii, regexlite, stats, cli and \
+                   serve never aborts the process: every fallible operation \
+                   returns a typed error the caller can handle.",
+        example: "let doc = serde_json::from_str(line).unwrap();",
+        fix: "Propagate with `?` into the crate's typed error enum, or handle \
+              the failure locally (skip / quarantine / default).",
     },
     RuleInfo {
         id: "INC002",
         summary: "no nondeterminism (thread_rng, SystemTime::now, Instant::now) \
                   in library crates; bench binaries exempt",
+        contract: "Library crates derive every value from their inputs: no \
+                   ambient entropy or wall clock, so identical inputs always \
+                   produce byte-identical outputs.",
+        example: "let seed = SystemTime::now().duration_since(UNIX_EPOCH);",
+        fix: "Thread an explicit seed / timestamp through the API (the \
+              pipeline config carries `seed: u64`); keep clocks in bench \
+              binaries and the serve crate only.",
     },
     RuleInfo {
         id: "INC003",
         summary: "no float == / != comparisons in stats and ml library code",
+        contract: "Statistical code never compares floats for exact equality; \
+                   thresholds and convergence checks use explicit epsilons.",
+        example: "if score == prev_score { break; }",
+        fix: "Compare with an explicit tolerance: \
+              `(score - prev_score).abs() < EPS`, or compare `to_bits()` when \
+              byte-identity is genuinely intended.",
     },
     RuleInfo {
         id: "INC004",
         summary: "no unchecked slice indexing in the regexlite VM hot loop",
+        contract: "The regex VM inner loop only reads through checked \
+                   accessors (`get`, iterators), so crafted patterns or \
+                   inputs cannot panic the matcher.",
+        example: "let op = self.prog[pc];",
+        fix: "Use `self.prog.get(pc)` and treat `None` as a match failure \
+              (the VM's bail-out path).",
     },
     RuleInfo {
         id: "INC005",
         summary: "taxonomy/pii/corpus spec constants must agree with the paper \
                   (10 attack parents, 28+1 subcategories, 9 PII families / 12 \
                   expressions, 6 platforms / 5 data sets)",
+        contract: "The taxonomy, PII expression set and platform list encode \
+                   the paper's published counts; drifting constants would \
+                   silently change every downstream table.",
+        example: "Adding an 11th attack parent without updating the spec \
+                  tables in DESIGN.md.",
+        fix: "Either revert the constant or update the paper-spec table and \
+              DESIGN.md together, then adjust the rule's expected counts in \
+              the same commit.",
     },
     RuleInfo {
         id: "INC006",
         summary: "no raw file writes (File::create, fs::write, OpenOptions) in \
                   library code outside checkpoint::atomic_io — all persisted \
                   state must go through the atomic write-rename + hash funnel",
+        contract: "Every persisted artifact is written atomically (temp file + \
+                   rename) with a content hash, so a crash can never leave a \
+                   torn or unverifiable file behind.",
+        example: "std::fs::write(path, payload)?; // in crates/core/src/...",
+        fix: "Route the write through `checkpoint::atomic_io::write_hashed` \
+              (or add a typed wrapper there if the shape is new).",
     },
     RuleInfo {
         id: "INC007",
         summary: "no std::net (TcpListener, TcpStream, UdpSocket) outside the \
                   serve crate and the CLI — the network edge stays behind \
                   incite-serve's typed HTTP surface",
+        contract: "Exactly one crate owns sockets. Analysis code cannot grow \
+                   hidden network dependencies, and the offline build stays \
+                   provably offline.",
+        example: "TcpStream::connect(addr) inside crates/ml/src/...",
+        fix: "Move the network interaction behind incite-serve's typed \
+              client/server API, or pass the data in as a value.",
     },
     RuleInfo {
         id: "INC008",
         summary: "workspace locks are acquired in one consistent order — the \
                   item graph must not show the same two locks taken in both \
                   orders anywhere (potential deadlock)",
+        contract: "For any two workspace locks A and B, all code paths agree \
+                   on which is taken first; the item graph proves no A→B and \
+                   B→A pair exists.",
+        example: "Thread 1 locks `queue` then `metrics`; thread 2 locks \
+                  `metrics` then `queue`.",
+        fix: "Pick one order (document it on the struct holding the locks) \
+              and reorder the minority call sites; or merge the two locks.",
     },
     RuleInfo {
         id: "INC009",
         summary: "no blocking operation (file I/O via checkpoint::atomic_io, \
                   thread::sleep, Condvar::wait, channel recv, TcpStream reads, \
                   join) while a Mutex/RwLock guard is live",
+        contract: "Critical sections are compute-only: a held guard never \
+                   spans file I/O, sleeps, channel waits or joins, so lock \
+                   hold times stay bounded.",
+        example: "let g = state.lock().unwrap(); write_hashed(path, &g.data)?;",
+        fix: "Clone or take what the blocking call needs, drop the guard \
+              (end the scope or `drop(g)`), then block.",
     },
     RuleInfo {
         id: "INC010",
         summary: "serve request handlers only grow buffers (push/extend/\
                   push_str) inside loops under a visible bound — with_capacity \
                   pre-allocation or a max_batch/queue_depth/constant check",
+        contract: "No request can make the server allocate unboundedly: every \
+                   buffer grown in a handler loop is pre-sized or guarded by \
+                   a visible max_batch/queue_depth/constant bound.",
+        example: "for doc in body_docs { batch.push(doc); } // no bound check",
+        fix: "Pre-allocate with `Vec::with_capacity(max_batch)` or guard the \
+              loop with the configured bound and reject oversized requests.",
+    },
+    RuleInfo {
+        id: "INC011",
+        summary: "tainted document text never reaches a diagnostic sink \
+                  (println!/eprintln!/panic!, serve error bodies, CLI error \
+                  funnel) without passing a registered sanitizer",
+        contract: "Corpus text, request bodies and values derived from them \
+                   are taint-tracked across calls, returns, bindings and \
+                   format! captures; only `pii::redact`, \
+                   `corpus::redact_excerpt`, feature hashing and the \
+                   panic-message funnel launder taint. No tainted value may \
+                   flow into stderr/stdout diagnostics, serve error \
+                   responses or the CLI error funnel.",
+        example: "eprintln!(\"bad doc: {text}\");  // text came from \
+                  read_jsonl",
+        fix: "Report structure, not content: byte offsets, lengths, hashes, \
+              or a `redact_excerpt`-shaped excerpt. If content is truly \
+              required, pass it through `pii::redact` first.",
+    },
+    RuleInfo {
+        id: "INC012",
+        summary: "no nondeterminism source (wall clock, RandomState hash \
+                  iteration, thread ids, pointer-to-int casts) is reachable \
+                  from the scoring entry points",
+        contract: "Every function reachable in the call graph from \
+                   ScoringEngine's methods or the pipeline entry points is \
+                   pure: no Instant/SystemTime reads, no thread_rng, no \
+                   thread-id observation, no HashMap/HashSet (RandomState \
+                   iteration order), no pointer-to-integer casts. Scoring is \
+                   a function of (model, text) and nothing else.",
+        example: "let mut by_label: HashMap<Label, f32> = HashMap::new(); \
+                  // inside a fn called from score_texts",
+        fix: "Use BTreeMap/BTreeSet (deterministic order) or a seeded \
+              hasher; take timestamps outside the scoring path and pass \
+              them in as values.",
+    },
+    RuleInfo {
+        id: "INC013",
+        summary: "error enum variants carrying String/str are never \
+                  constructed from unredacted document text",
+        contract: "Typed errors travel far (logs, quarantine reports, serve \
+                   bodies), so any `Enum::Variant(..)` or \
+                   `Enum::Variant { .. }` whose payload can carry text must \
+                   be built from static strings or sanitizer output, never \
+                   from tainted values.",
+        example: "JsonlError::Malformed { excerpt: raw_line.to_string() }",
+        fix: "Store structure (offsets, counts) in the variant, or sanitize \
+              at construction: `excerpt: redact_excerpt(raw, 40)`.",
     },
 ];
 
@@ -211,6 +342,7 @@ pub fn scan_file(path: &str, masked: &MaskedFile) -> Vec<Finding> {
                     file: path.to_string(),
                     line: lineno,
                     message,
+                    trace: Vec::new(),
                 });
             }
         };
@@ -587,6 +719,7 @@ mod tests {
             file: "crates/core/src/pipeline.rs".into(),
             line: 7,
             message: "`unwrap()` in library code".into(),
+            trace: Vec::new(),
         };
         assert_eq!(
             f.render(),

@@ -184,6 +184,7 @@ fn fail(file: &str, line: usize, message: String) -> Finding {
         // File-level findings pass 0; diagnostics are 1-based.
         line: line.max(1),
         message,
+        trace: Vec::new(),
     }
 }
 

@@ -1,0 +1,48 @@
+//! Seeded INC012 violations: nondeterminism reachable from a scoring
+//! entry point, plus deterministic and unreachable variants that must
+//! stay clean. Fixture data only; never compiled.
+
+pub struct ScoringEngine;
+
+impl ScoringEngine {
+    /// Scoring entry: every needle reachable from here is a finding.
+    pub fn score_all(&self, texts: &[String]) -> Vec<f32> {
+        let spread = tally(texts);
+        let ordered = ordered_tally(texts);
+        vec![spread as f32, ordered as f32]
+    }
+}
+
+/// One hop from the entry: iteration order depends on RandomState.
+fn tally(texts: &[String]) -> usize {
+    let mut seen = std::collections::HashMap::new();
+    for (i, t) in texts.iter().enumerate() {
+        seen.insert(i, t.len());
+    }
+    seen.len() + salt()
+}
+
+/// Two hops from the entry (`score_all` → `tally` → `salt`): the
+/// thread id varies run to run.
+fn salt() -> usize {
+    let id = std::thread::current().id();
+    format!("{id:?}").len()
+}
+
+/// Deterministic counterpart on the same path: must NOT fire.
+fn ordered_tally(texts: &[String]) -> usize {
+    let mut seen = std::collections::BTreeMap::new();
+    for (i, t) in texts.iter().enumerate() {
+        seen.insert(i, t.len());
+    }
+    seen.len()
+}
+
+/// Not reachable from any scoring entry: must NOT fire.
+pub fn offline_histogram(lens: &[usize]) -> usize {
+    let mut seen = std::collections::HashMap::new();
+    for &n in lens {
+        seen.insert(n, ());
+    }
+    seen.len()
+}

@@ -1,0 +1,45 @@
+//! Seeded INC013 violations: error variants carrying raw document
+//! text, plus redacted and structure-only constructions that must
+//! stay clean. Fixture data only; never compiled.
+
+/// Parse failures surfaced to operators.
+pub enum ParseError {
+    /// Tuple variant carrying text: constructions from taint fire.
+    BadRecord(String),
+    /// Struct variant carrying text: same contract, braced form.
+    Malformed { excerpt: String },
+    /// Structure-only payload: never a finding.
+    Truncated { line: usize },
+}
+
+/// Byte-bounded, content-free excerpt: a registered sanitizer.
+fn redact_excerpt(raw: &str, max: usize) -> String {
+    format!("[{} bytes, first {max} redacted]", raw.len())
+}
+
+/// Corpus parameters are presumed document text; the tuple
+/// construction below leaks it, the structure-only one does not.
+pub fn ingest(raw: &str, lineno: usize) -> Result<(), ParseError> {
+    if raw.is_empty() {
+        return Err(ParseError::Truncated { line: lineno });
+    }
+    if raw.len() > 1024 {
+        return Err(ParseError::BadRecord(raw.to_string()));
+    }
+    Ok(())
+}
+
+/// Braced construction from taint.
+pub fn describe(raw: &str) -> ParseError {
+    ParseError::Malformed {
+        excerpt: raw.to_string(),
+    }
+}
+
+/// Sanitized construction: must NOT fire.
+pub fn ingest_safely(raw: &str) -> Result<(), ParseError> {
+    if raw.len() > 1024 {
+        return Err(ParseError::BadRecord(redact_excerpt(raw, 40)));
+    }
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Seeded INC011 violations: tainted document text flowing into
+//! diagnostic sinks, plus a sanitized flow that must stay clean.
+//! Fixture data only; never compiled.
+
+pub struct Request {
+    pub body: Vec<u8>,
+}
+
+/// Taint source by name: `(serve, read_request)`.
+pub fn read_request(raw: &[u8]) -> String {
+    String::from_utf8_lossy(raw).into_owned()
+}
+
+/// The serve error funnel: a registered sink function.
+fn error_body(msg: &str) -> String {
+    let mut out = String::from("error: ");
+    out.push_str(msg);
+    out
+}
+
+/// Content-free summary: a registered sanitizer.
+fn redact(doc: &str) -> String {
+    format!("[{} bytes]", doc.len())
+}
+
+/// Two-hop flow: the source is read here, but the leak happens in
+/// `report`, which receives the text only through its parameter.
+pub fn handle(req: &Request) {
+    let doc = read_request(&req.body);
+    report(doc);
+}
+
+/// `doc` is tainted interprocedurally (serve parameters are not
+/// presumed text): the call in `handle` carries document text in.
+fn report(doc: String) {
+    eprintln!("could not parse: {doc}");
+}
+
+/// Direct flow into the serve error funnel.
+pub fn reject(req: &Request) -> String {
+    let doc = read_request(&req.body);
+    error_body(&doc)
+}
+
+/// Sanitized flow: `redact` scrubs the span, so nothing fires.
+pub fn log_safely(req: &Request) {
+    let doc = read_request(&req.body);
+    let safe = redact(&doc);
+    eprintln!("rejected: {safe}");
+}

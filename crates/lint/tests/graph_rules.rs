@@ -1,8 +1,8 @@
-//! End-to-end check of the graph rules (INC008–INC010) against the
-//! seeded fixture tree in `tests/fixtures/ws`: each rule must fire
-//! exactly where a violation was planted and nowhere else, and the
-//! baseline ratchet must round-trip to a fixed point over the same
-//! findings.
+//! End-to-end check of the graph rules (INC008–INC010) and the taint
+//! rules (INC011–INC013) against the seeded fixture tree in
+//! `tests/fixtures/ws`: each rule must fire exactly where a violation
+//! was planted and nowhere else, and the baseline ratchet must
+//! round-trip to a fixed point over the same findings.
 //!
 //! The complementary property — zero graph-rule findings on the *real*
 //! workspace — is covered by `engine::tests::
@@ -39,9 +39,27 @@ fn seeded_violations_fire_exactly_where_planted() {
             // a callee.
             ("crates/core/src/locks.rs", "INC009", 45),
             ("crates/core/src/locks.rs", "INC009", 52),
+            // `tally` iterates a HashMap one hop from `score_all`;
+            // `salt` reads the thread id two hops out. The BTreeMap
+            // variant and the unreachable `offline_histogram` stay
+            // clean.
+            ("crates/core/src/nondet.rs", "INC012", 18),
+            ("crates/core/src/nondet.rs", "INC012", 28),
+            // `ingest` stuffs raw text into `ParseError::BadRecord`;
+            // `describe` does the braced form. The structure-only
+            // `Truncated` and the `redact_excerpt`-wrapped construction
+            // stay clean.
+            ("crates/corpus/src/errors.rs", "INC013", 27),
+            ("crates/corpus/src/errors.rs", "INC013", 34),
             // `route` grows `out` in a loop with no visible bound; the
             // `max_batch` and `with_capacity` variants stay clean.
             ("crates/serve/src/handler.rs", "INC010", 7),
+            // `report` leaks text it received only through its
+            // parameter (two-hop flow); `reject` hands text to the
+            // `error_body` sink. The `redact`-sanitized flow in
+            // `log_safely` stays clean.
+            ("crates/serve/src/leak.rs", "INC011", 36),
+            ("crates/serve/src/leak.rs", "INC011", 42),
         ],
         "graph findings moved: {:#?}",
         report.findings
@@ -67,6 +85,48 @@ fn inc008_messages_point_at_the_opposite_order() {
     assert!(inc008[0].message.contains("core/Pair.b"));
     assert!(inc008[0].message.contains("crates/core/src/locks.rs:38"));
     assert!(inc008[1].message.contains("crates/core/src/locks.rs:30"));
+}
+
+/// The INC011 finding in `report` is genuinely interprocedural: the
+/// source is read in `handle`, the leak sits in a function that only
+/// ever saw the text through its parameter, and the trace narrates
+/// that chain end to end.
+#[test]
+fn inc011_trace_narrates_the_interprocedural_hop() {
+    let report = engine::run(&fixture_root(), &Baseline::default()).unwrap();
+    let leak = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "INC011" && f.file == "crates/serve/src/leak.rs" && f.line == 36)
+        .expect("the two-hop eprintln leak must fire");
+    let trace = leak.trace.join(" | ");
+    assert!(
+        trace.contains("parameter `doc` of `serve::report`"),
+        "trace must name the tainted parameter: {trace}"
+    );
+    assert!(
+        trace.contains("call from `serve::handle`"),
+        "trace must name the call site that carried the taint: {trace}"
+    );
+    assert!(
+        trace.contains("source `serve::read_request`"),
+        "trace must bottom out at the source: {trace}"
+    );
+
+    // The INC012 trace walks the call path from the scoring entry.
+    let nondet = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "INC012" && f.line == 28)
+        .expect("the two-hop thread-id observation must fire");
+    assert_eq!(
+        nondet.trace[0],
+        "scoring entry `core::ScoringEngine::score_all`"
+    );
+    assert!(nondet
+        .trace
+        .iter()
+        .any(|s| s.contains("calls `core::tally`")));
 }
 
 /// `--update-baseline` then `check` is a fixed point: regenerating the

@@ -342,8 +342,18 @@ fn route(state: &Arc<ServerState>, req: &Request) -> Response {
 fn parse_docs(req: &Request) -> Result<Vec<String>, Response> {
     let body = std::str::from_utf8(&req.body)
         .map_err(|_| Response::json(400, error_body("body is not UTF-8")))?;
-    let parsed: DocsRequest = serde_json::from_str(body)
-        .map_err(|e| Response::json(400, error_body(&format!("body does not parse: {e}"))))?;
+    // Report the failure *position*, never the parser message — syntax
+    // errors quote a snippet of the (caller-supplied, possibly victim)
+    // body text, and error bodies are a diagnostic sink (INC011).
+    let parsed: DocsRequest = serde_json::from_str(body).map_err(|e| {
+        let detail = match e {
+            serde_json::Error::Syntax(_, at) => {
+                format!("body does not parse: syntax error at byte {at}")
+            }
+            _ => "body does not parse: value has the wrong shape".to_string(),
+        };
+        Response::json(400, error_body(&detail))
+    })?;
     let texts = match (parsed.text, parsed.texts) {
         (Some(text), None) => vec![text],
         (None, Some(texts)) => texts,

@@ -93,7 +93,10 @@ fn score_batch(state: &ServerState, jobs: Vec<ScoreJob>) {
         }
         Err(e) => {
             state.metrics.worker_errors.fetch_add(1, Ordering::Relaxed);
-            let msg = e.to_string();
+            // The error-kind descriptor is static by construction; the
+            // full Display (which embeds the panic payload) must not
+            // reach a response body (INC013).
+            let msg = e.kind().to_string();
             for job in live {
                 let _ = job.reply.try_send(Reply::Failed(msg.clone()));
             }

@@ -18,7 +18,10 @@ pub struct FeatureHasher {
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x100_0000_01b3;
 
-fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
+/// Seeded FNV-1a over raw bytes. Public because a 64-bit digest is the
+/// workspace's standard content-free stand-in for text in diagnostics
+/// (a registered sanitizer in the incite-lint taint model).
+pub fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
     let mut hash = FNV_OFFSET ^ seed;
     for &b in bytes {
         hash ^= b as u64;

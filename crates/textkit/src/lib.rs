@@ -27,7 +27,7 @@ pub mod span;
 pub mod tokenize;
 pub mod wordpiece;
 
-pub use hash::FeatureHasher;
+pub use hash::{fnv1a, FeatureHasher};
 pub use ngram::{char_ngrams, word_ngrams};
 pub use normalize::normalize;
 pub use rng::SplitMix64;
