@@ -61,6 +61,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "Online inference service loopback load test (BENCH line)",
     ),
     (
+        "featurize_throughput",
+        "Rolling n-gram hashing vs legacy string path (BENCH line)",
+    ),
+    (
         "extension_attack_types",
         "\u{a7}9.2 extension: per-attack-type classifiers",
     ),
@@ -100,6 +104,7 @@ pub fn run_experiment(id: &str, ctx: &mut ReproContext) -> Option<String> {
         "score_throughput" => crate::throughput::run(ctx),
         "checkpoint_overhead" => crate::checkpoint_overhead::run(ctx),
         "serve_latency" => crate::serve_latency::run(ctx),
+        "featurize_throughput" => crate::featurize_throughput::run(ctx),
         "extension_attack_types" => extension_attack_types(ctx),
         "extension_longitudinal" => extension_longitudinal(ctx),
         _ => return None,

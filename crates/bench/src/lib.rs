@@ -13,6 +13,7 @@ pub mod ablations;
 pub mod checkpoint_overhead;
 pub mod context;
 pub mod experiments;
+pub mod featurize_throughput;
 pub mod serve_latency;
 pub mod throughput;
 

@@ -16,7 +16,7 @@
 
 use crate::parallel::{map_indexed, ScoreError};
 use incite_corpus::{DocId, Document};
-use incite_ml::batch::FeatureMatrix;
+use incite_ml::batch::{FeatureMatrix, ROW_TILE};
 use incite_ml::{Featurizer, LogisticRegression, TextClassifier};
 
 /// Instrumentation for the featurize-once invariant and the BENCH report.
@@ -73,9 +73,7 @@ impl ScoringEngine {
         model: &LogisticRegression,
         threads: usize,
     ) -> Result<Vec<(DocId, f32)>, ScoreError> {
-        let scores = map_indexed(self.matrix.len(), threads, |i| {
-            self.matrix.score_row(model, i)
-        })?;
+        let scores = score_matrix_tiled(&self.matrix, model, threads)?;
         self.stats.score_passes += 1;
         Ok(self.ids.iter().copied().zip(scores).collect())
     }
@@ -98,9 +96,7 @@ impl ScoringEngine {
         let featurizer = classifier.featurizer();
         let rows = map_indexed(texts.len(), threads, |i| featurizer.features(texts[i]))?;
         let matrix = FeatureMatrix::from_rows(featurizer.dimensions(), rows.iter());
-        map_indexed(matrix.len(), threads, |i| {
-            matrix.score_row(classifier.model(), i)
-        })
+        score_matrix_tiled(&matrix, classifier.model(), threads)
     }
 
     /// Number of cached documents.
@@ -136,6 +132,30 @@ impl ScoringEngine {
         self.stats = saved;
         Ok(())
     }
+}
+
+/// One parallel pass of the block-tiled spmv over every matrix row.
+///
+/// The parallel work unit is a fixed tile of [`ROW_TILE`] consecutive rows
+/// (the tiled kernel's natural granularity), scored by
+/// [`FeatureMatrix::score_rows`] and flattened back in tile order. Tile `t`
+/// always covers rows `[t·ROW_TILE, (t+1)·ROW_TILE)` and the kernel keeps
+/// one in-order accumulator per row, so the output is bit-identical to a
+/// serial `score_row` sweep at any thread count.
+fn score_matrix_tiled(
+    matrix: &FeatureMatrix,
+    model: &LogisticRegression,
+    threads: usize,
+) -> Result<Vec<f32>, ScoreError> {
+    let rows = matrix.len();
+    let tiles = rows.div_ceil(ROW_TILE);
+    let tiled: Vec<Vec<f32>> = map_indexed(tiles, threads, |t| {
+        let start = t * ROW_TILE;
+        let mut out = vec![0.0f32; ROW_TILE.min(rows - start)];
+        matrix.score_rows(model, start, &mut out);
+        out
+    })?;
+    Ok(tiled.into_iter().flatten().collect())
 }
 
 /// Scores `docs` with `classifier` on `threads` workers.

@@ -12,7 +12,9 @@
 //! [`read_jsonl`] is the strict variant (any bad line is a typed
 //! [`JsonlError`]) for tests and pipelines that demand a pristine corpus.
 
-use crate::document::Document;
+use crate::document::{DocId, Document, GroundTruth, ThreadRef};
+use incite_taxonomy::pii_kind::PiiSet;
+use incite_taxonomy::{Gender, LabelSet, Platform};
 use std::fmt;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 
@@ -141,6 +143,269 @@ pub fn write_jsonl<W: Write>(writer: W, docs: &[Document]) -> io::Result<()> {
     w.flush()
 }
 
+/// Zero-copy cursor over one line for the specialized document parser.
+///
+/// Every scalar is read as a borrowed slice of the input line; the only
+/// allocations in a fast-path parse are the four owned `String` fields of
+/// the resulting [`Document`]. The cursor accepts a strict *subset* of the
+/// JSON that serde accepts — exactly the compact, declaration-ordered,
+/// escape-free shape [`write_jsonl`] emits (plus insignificant whitespace).
+/// Anything else makes a method return `None`, which sends the caller to
+/// the serde path, so behavior on irregular input is bit-identical to the
+/// pre-fast-path loader.
+struct Cursor<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Cursor<'a> {
+        Cursor {
+            text,
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, want: u8) -> Option<()> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&want) {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    /// One object key: `"name"` followed by `:`. Keys never need escapes.
+    fn key(&mut self, name: &[u8]) -> Option<()> {
+        self.eat(b'"')?;
+        let end = self.pos.checked_add(name.len())?;
+        if self.bytes.get(self.pos..end)? != name {
+            return None;
+        }
+        self.pos = end;
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return None;
+        }
+        self.pos += 1;
+        self.eat(b':')
+    }
+
+    /// A string scalar without escapes, borrowed straight from the line.
+    /// A backslash (valid JSON, slow path) or a raw control byte (invalid
+    /// JSON) both defer to serde.
+    fn string(&mut self) -> Option<&'a str> {
+        self.eat(b'"')?;
+        let start = self.pos;
+        loop {
+            match *self.bytes.get(self.pos)? {
+                b'"' => {
+                    // Both delimiters are ASCII, so this slice sits on
+                    // char boundaries of the already-validated line.
+                    let s = &self.text[start..self.pos];
+                    self.pos += 1;
+                    return Some(s);
+                }
+                b'\\' | 0..=0x1f => return None,
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// A non-negative integer token. Accepts only what serde would accept
+    /// for an unsigned field: no sign, no leading zeros, no fraction or
+    /// exponent, no overflow.
+    fn number_token(&mut self) -> Option<&'a str> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let token = &self.text[start..self.pos];
+        if token.is_empty() || (token.len() > 1 && token.starts_with('0')) {
+            return None;
+        }
+        if let Some(b'.' | b'e' | b'E') = self.bytes.get(self.pos) {
+            return None;
+        }
+        Some(token)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.number_token()?.parse().ok()
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.number_token()?.parse().ok()
+    }
+
+    fn boolean(&mut self) -> Option<bool> {
+        self.skip_ws();
+        for (lit, value) in [(&b"true"[..], true), (&b"false"[..], false)] {
+            if self.bytes[self.pos..].starts_with(lit) {
+                self.pos += lit.len();
+                return Some(value);
+            }
+        }
+        None
+    }
+
+    /// Consumes `null` if present; `false` leaves the cursor untouched.
+    fn null(&mut self) -> bool {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"null") {
+            self.pos += 4;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.pos == self.bytes.len()
+    }
+}
+
+fn platform_variant(name: &str) -> Option<Platform> {
+    Some(match name {
+        "Boards" => Platform::Boards,
+        "Discord" => Platform::Discord,
+        "Telegram" => Platform::Telegram,
+        "Gab" => Platform::Gab,
+        "Pastes" => Platform::Pastes,
+        "Blogs" => Platform::Blogs,
+        _ => return None,
+    })
+}
+
+fn gender_variant(name: &str) -> Option<Gender> {
+    Some(match name {
+        "Unknown" => Gender::Unknown,
+        "Female" => Gender::Female,
+        "Male" => Gender::Male,
+        _ => return None,
+    })
+}
+
+/// The zero-copy fast path: a single-pass parse of the exact record shape
+/// [`write_jsonl`] emits, with every scalar borrowed from the line until
+/// the final owned-`String` copies into the [`Document`].
+///
+/// `None` means "not the fast shape" — not "invalid". The caller then runs
+/// serde, whose accept/reject decision and error classification are the
+/// behavioral contract; the fast path only ever short-circuits lines serde
+/// would have accepted with the identical `Document` (it parses a strict
+/// subset of serde's grammar and builds every field the same way —
+/// `LabelSet`/`PiiSet` keep their private-bit representation by
+/// deserializing just the borrowed number token).
+fn parse_document_fast(text: &str) -> Option<Document> {
+    // Keys appear in the canonical (alphabetical) order the vendored
+    // serializer emits, at every nesting level.
+    let mut c = Cursor::new(text);
+    c.eat(b'{')?;
+    c.key(b"author")?;
+    let author = c.string()?.to_string();
+    c.eat(b',')?;
+    c.key(b"channel")?;
+    let channel = c.string()?.to_string();
+    c.eat(b',')?;
+    c.key(b"id")?;
+    let id = DocId(c.u64()?);
+    c.eat(b',')?;
+    c.key(b"platform")?;
+    let platform = platform_variant(c.string()?)?;
+    c.eat(b',')?;
+    c.key(b"text")?;
+    let body = c.string()?.to_string();
+    c.eat(b',')?;
+    c.key(b"thread")?;
+    let thread = if c.null() {
+        None
+    } else {
+        c.eat(b'{')?;
+        c.key(b"position")?;
+        let position = c.u32()?;
+        c.eat(b',')?;
+        c.key(b"thread_id")?;
+        let thread_id = c.u64()?;
+        c.eat(b',')?;
+        c.key(b"thread_len")?;
+        let thread_len = c.u32()?;
+        c.eat(b'}')?;
+        Some(ThreadRef {
+            thread_id,
+            position,
+            thread_len,
+        })
+    };
+    c.eat(b',')?;
+    c.key(b"timestamp")?;
+    let timestamp = c.u64()?;
+    c.eat(b',')?;
+    c.key(b"truth")?;
+    c.eat(b'{')?;
+    c.key(b"gender")?;
+    let gender = gender_variant(c.string()?)?;
+    c.eat(b',')?;
+    c.key(b"hard_negative")?;
+    let hard_negative = c.boolean()?;
+    c.eat(b',')?;
+    c.key(b"is_cth")?;
+    let is_cth = c.boolean()?;
+    c.eat(b',')?;
+    c.key(b"is_dox")?;
+    let is_dox = c.boolean()?;
+    c.eat(b',')?;
+    c.key(b"labels")?;
+    let labels: LabelSet = serde_json::from_str(c.number_token()?).ok()?;
+    c.eat(b',')?;
+    c.key(b"pii")?;
+    let pii: PiiSet = serde_json::from_str(c.number_token()?).ok()?;
+    c.eat(b',')?;
+    c.key(b"reputation_flag")?;
+    let reputation_flag = c.boolean()?;
+    c.eat(b',')?;
+    c.key(b"target_handle")?;
+    let target_handle = if c.null() {
+        None
+    } else {
+        Some(c.string()?.to_string())
+    };
+    c.eat(b'}')?;
+    c.eat(b'}')?;
+    if !c.at_end() {
+        return None;
+    }
+    Some(Document {
+        id,
+        platform,
+        text: body,
+        author,
+        timestamp,
+        thread,
+        channel,
+        truth: GroundTruth {
+            is_cth,
+            is_dox,
+            labels,
+            gender,
+            pii,
+            reputation_flag,
+            target_handle,
+            hard_negative,
+        },
+    })
+}
+
 /// Classifies and parses one raw line. `has_newline` distinguishes a bad
 /// final record of an interrupted transfer from an ordinary malformed line.
 fn parse_line(
@@ -154,6 +419,9 @@ fn parse_line(
     };
     if text.trim().is_empty() {
         return Ok(None);
+    }
+    if let Some(doc) = parse_document_fast(text) {
+        return Ok(Some(doc));
     }
     match serde_json::from_str::<Document>(text) {
         Ok(doc) => Ok(Some(doc)),
@@ -371,6 +639,85 @@ mod tests {
         let (docs, stats) = read_jsonl_quarantine(buf.as_slice()).unwrap();
         assert_eq!(docs.len(), corpus.len());
         assert_eq!(stats, QuarantineStats::default());
+    }
+
+    /// Every line the writer emits must take the zero-copy fast path and
+    /// produce a document byte-identical (via re-serialization) to what
+    /// serde parses from the same line.
+    #[test]
+    fn fast_path_matches_serde_on_every_written_line() {
+        let corpus = generate(&CorpusConfig::tiny(42));
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &corpus.documents).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut fast_lines = 0;
+        for line in text.lines() {
+            let fast = parse_document_fast(line);
+            if !line.contains('\\') {
+                // Escape-free lines (the bulk of a corpus) must all take
+                // the zero-copy path; escaped ones legitimately defer.
+                assert!(
+                    fast.is_some(),
+                    "escape-free line left the fast path: {line}"
+                );
+            }
+            let slow: Document = serde_json::from_str(line).unwrap();
+            if let Some(fast) = fast {
+                assert_eq!(
+                    serde_json::to_string(&fast).unwrap(),
+                    serde_json::to_string(&slow).unwrap()
+                );
+                fast_lines += 1;
+            }
+        }
+        assert!(fast_lines * 2 > corpus.len(), "fast path barely used");
+    }
+
+    /// Escaped strings are valid JSON but not the fast shape: they must
+    /// defer to serde and still round-trip exactly.
+    #[test]
+    fn escaped_strings_defer_to_serde_and_round_trip() {
+        let mut doc = generate(&CorpusConfig::tiny(9)).documents.remove(0);
+        doc.text = "a \"quoted\" line\nwith\tescapes \\ inside".to_string();
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, std::slice::from_ref(&doc)).unwrap();
+        let line = std::str::from_utf8(&buf).unwrap().trim_end();
+        assert!(parse_document_fast(line).is_none(), "escapes must bail");
+        let back = read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(back[0].text, doc.text);
+        assert_eq!(back[0].id, doc.id);
+    }
+
+    /// Valid JSON in a non-canonical field order bails out of the fast
+    /// path and parses through serde — same documents either way.
+    #[test]
+    fn reordered_fields_fall_back_to_serde() {
+        // Declaration order rather than the canonical alphabetical order.
+        let reordered = concat!(
+            "{\"id\":7,\"platform\":\"Boards\",\"text\":\"hi\",\"author\":\"anon\",",
+            "\"timestamp\":5,\"thread\":null,\"channel\":\"b\",\"truth\":{",
+            "\"is_cth\":false,\"is_dox\":false,\"labels\":0,\"gender\":\"Unknown\",",
+            "\"pii\":0,\"reputation_flag\":false,\"target_handle\":null,",
+            "\"hard_negative\":false}}"
+        );
+        assert!(parse_document_fast(reordered).is_none());
+        let back = read_jsonl(format!("{reordered}\n").as_bytes()).unwrap();
+        assert_eq!(back[0].id, DocId(7));
+        assert_eq!(back[0].text, "hi");
+    }
+
+    /// Number tokens serde rejects (leading zeros, floats) must not be
+    /// accepted by the fast path: both paths classify the line Malformed.
+    #[test]
+    fn non_canonical_numbers_stay_malformed() {
+        for bad in [
+            "{\"id\":01,\"platform\":\"Gab\"}",
+            "{\"id\":1.5,\"platform\":\"Gab\"}",
+        ] {
+            assert!(parse_document_fast(bad).is_none());
+            let err = read_jsonl(format!("{bad}\n").as_bytes()).unwrap_err();
+            assert!(matches!(err, JsonlError::Malformed { line: 1, .. }));
+        }
     }
 
     #[test]

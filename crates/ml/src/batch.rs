@@ -116,9 +116,94 @@ impl FeatureMatrix {
         model.predict_proba_row(indices, values)
     }
 
-    /// Scores every row serially, in order.
+    /// Scores the row tile `[start, start + out.len())` with the block-tiled
+    /// spmv kernel, writing row `start + r`'s probability into `out[r]`.
+    ///
+    /// The kernel sweeps the tile's rows over ascending column blocks of
+    /// [`COL_BLOCK`] weights (128 KiB of f32 — sized to stay resident in
+    /// L2), so one hot slice of the weight vector serves every row of the
+    /// tile before the sweep moves on, instead of each row walking the full
+    /// weight vector cold. Each row keeps ONE running accumulator carried
+    /// across blocks, so its products are summed in exactly the ascending-
+    /// index order of [`LogisticRegression::predict_proba_row`] — tiling
+    /// changes the memory schedule, never the float summation order, and
+    /// the output is bit-identical to `score_row` per row.
+    pub fn score_rows(&self, model: &LogisticRegression, start: usize, out: &mut [f32]) {
+        let rows = out.len();
+        assert!(
+            start + rows <= self.len(),
+            "row tile [{start}, {}) out of range (rows: {})",
+            start + rows,
+            self.len()
+        );
+        let weights = model.weights();
+        // Per-row cursor into the CSR arena and per-row running margin.
+        let mut cursors: Vec<usize> = (0..rows).map(|r| self.offsets[start + r]).collect();
+        let mut margins = vec![0.0f32; rows];
+        let mut block_end: u64 = COL_BLOCK as u64;
+        loop {
+            let mut remaining = false;
+            for r in 0..rows {
+                let end = self.offsets[start + r + 1];
+                let mut cur = cursors[r];
+                let mut sum = margins[r];
+                // Unrolled in-order accumulation: indices are sorted, so if
+                // the 4th entry is still inside the block, all four are.
+                while cur + 4 <= end && (self.indices[cur + 3] as u64) < block_end {
+                    sum = accumulate(sum, weights, self.indices[cur], self.values[cur]);
+                    sum = accumulate(sum, weights, self.indices[cur + 1], self.values[cur + 1]);
+                    sum = accumulate(sum, weights, self.indices[cur + 2], self.values[cur + 2]);
+                    sum = accumulate(sum, weights, self.indices[cur + 3], self.values[cur + 3]);
+                    cur += 4;
+                }
+                while cur < end && (self.indices[cur] as u64) < block_end {
+                    sum = accumulate(sum, weights, self.indices[cur], self.values[cur]);
+                    cur += 1;
+                }
+                margins[r] = sum;
+                cursors[r] = cur;
+                remaining |= cur < end;
+            }
+            if !remaining {
+                break;
+            }
+            block_end += COL_BLOCK as u64;
+        }
+        for r in 0..rows {
+            out[r] = model.proba_from_margin(margins[r]);
+        }
+    }
+
+    /// Scores every row in order with the tiled kernel.
     pub fn score_all(&self, model: &LogisticRegression) -> Vec<f32> {
-        (0..self.len()).map(|i| self.score_row(model, i)).collect()
+        let mut out = vec![0.0f32; self.len()];
+        for tile_start in (0..self.len()).step_by(ROW_TILE) {
+            let tile_len = ROW_TILE.min(self.len() - tile_start);
+            self.score_rows(
+                model,
+                tile_start,
+                &mut out[tile_start..tile_start + tile_len],
+            );
+        }
+        out
+    }
+}
+
+/// Column-block width of the tiled spmv: 2^15 f32 weights = 128 KiB.
+pub const COL_BLOCK: usize = 1 << 15;
+
+/// Row-tile height: how many rows share one sweep over the weight blocks.
+/// Also the parallel work unit the scoring engine hands to `core::parallel`.
+pub const ROW_TILE: usize = 256;
+
+/// One guarded multiply-accumulate step, shared by the unrolled and tail
+/// loops so both keep `predict_proba_row`'s exact skip semantics for
+/// indices outside the weight vector.
+#[inline(always)]
+fn accumulate(sum: f32, weights: &[f32], index: u32, value: f32) -> f32 {
+    match weights.get(index as usize) {
+        Some(w) => sum + value * w,
+        None => sum,
     }
 }
 
@@ -260,6 +345,74 @@ mod tests {
             assert_eq!(m.score_row(&model, i), model.predict_proba(row), "row {i}");
         }
         assert_eq!(m.score_all(&model).len(), rows.len());
+    }
+
+    #[test]
+    fn tiled_scores_are_bit_identical_to_row_scores() {
+        // Deterministic pseudo-random rows spanning many column blocks,
+        // plus empty rows and a row denser than the unroll width.
+        let dims = COL_BLOCK * 4;
+        let mut rows: Vec<SparseVec> = Vec::new();
+        let mut state = 0x5eedu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for r in 0..(ROW_TILE * 2 + 37) {
+            if r % 11 == 0 {
+                rows.push(Vec::new());
+                continue;
+            }
+            let nnz = 1 + (next() % 23) as usize;
+            let mut row: SparseVec = (0..nnz)
+                .map(|_| {
+                    let i = (next() % dims as u64) as u32;
+                    let v = ((next() % 2001) as f32 - 1000.0) / 250.0;
+                    (i, v)
+                })
+                .collect();
+            row.sort_unstable_by_key(|(i, _)| *i);
+            row.dedup_by_key(|(i, _)| *i);
+            row.retain(|(_, v)| *v != 0.0);
+            rows.push(row);
+        }
+        let m = FeatureMatrix::from_rows(dims, rows.iter());
+        let model = model(dims);
+        let tiled = m.score_all(&model);
+        assert_eq!(tiled.len(), m.len());
+        for (i, score) in tiled.iter().enumerate() {
+            assert_eq!(score.to_bits(), m.score_row(&model, i).to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn tiled_kernel_skips_indices_beyond_model() {
+        // A model narrower than the feature space: out-of-range indices
+        // must be skipped, not scored, exactly as predict_proba_row does.
+        let rows: Vec<SparseVec> = vec![
+            vec![(0, 1.0), (15, 2.0), (100_000, 5.0)],
+            vec![(99_999, 3.0)],
+        ];
+        let m = FeatureMatrix::from_rows(1 << 17, rows.iter());
+        let model = model(16);
+        let tiled = m.score_all(&model);
+        for (i, score) in tiled.iter().enumerate() {
+            assert_eq!(score.to_bits(), m.score_row(&model, i).to_bits());
+        }
+    }
+
+    #[test]
+    fn partial_tile_scores_the_requested_rows() {
+        let rows: Vec<SparseVec> = (0..10).map(|i| vec![(i as u32, 1.0)]).collect();
+        let m = FeatureMatrix::from_rows(16, rows.iter());
+        let model = model(16);
+        let mut out = vec![0.0f32; 3];
+        m.score_rows(&model, 4, &mut out);
+        for (r, score) in out.iter().enumerate() {
+            assert_eq!(score.to_bits(), m.score_row(&model, 4 + r).to_bits());
+        }
     }
 
     #[test]

@@ -8,8 +8,8 @@
 
 use crate::sparse::{merge, SparseVec};
 use incite_textkit::{
-    char_ngrams, normalize, sample_spans, tokenize, FeatureHasher, SpanStrategy, SplitMix64,
-    TokenKind, WordPieceEncoder, WordPieceTrainer,
+    char_ngrams, normalize, sample_spans, tokenize, EncodeScratch, FeatureHasher, SpanStrategy,
+    SplitMix64, TokenKind, WordPieceEncoder, WordPieceTrainer,
 };
 
 /// Which token stream feeds the n-gram extractor.
@@ -126,7 +126,23 @@ impl Featurizer {
 
     /// Featurizes one document. Deterministic: the span-sampling RNG is
     /// seeded from the config seed and a hash of the document.
+    ///
+    /// Runs the rolling-FNV n-gram path: grams are hashed straight from
+    /// token byte slices, never materialized as `String`s. Byte-identical
+    /// to [`Featurizer::features_legacy`] (enforced by tests).
     pub fn features(&self, text: &str) -> SparseVec {
+        self.features_with(text, |span| self.span_features(span))
+    }
+
+    /// The original string-allocating featurize path, kept as the reference
+    /// implementation for the rolling path's byte-identity tests and the
+    /// `featurize_throughput` before/after measurement.
+    pub fn features_legacy(&self, text: &str) -> SparseVec {
+        self.features_with(text, |span| self.span_features_legacy(span))
+    }
+
+    /// Shared span-sampling + merge + L2 skeleton of both featurize paths.
+    fn features_with(&self, text: &str, span_features: impl Fn(&str) -> SparseVec) -> SparseVec {
         let norm = normalize(text);
         let doc_hash = fnv(norm.as_bytes());
         let mut rng = SplitMix64::new(self.config.seed ^ doc_hash);
@@ -139,8 +155,14 @@ impl Featurizer {
         );
         let mut acc: SparseVec = Vec::new();
         for span in spans {
-            let span_feats = self.span_features(span);
-            acc = merge(&acc, &span_feats);
+            let span_feats = span_features(span);
+            // `merge(&[], &b)` copies `b` verbatim; taking it directly is
+            // bit-identical and skips the copy for the common 1-span doc.
+            acc = if acc.is_empty() {
+                span_feats
+            } else {
+                merge(&acc, &span_feats)
+            };
         }
         // L2 normalize the combined vector so documents of different span
         // counts are comparable.
@@ -154,6 +176,46 @@ impl Featurizer {
     }
 
     fn span_features(&self, span: &str) -> SparseVec {
+        let mut pairs: Vec<(u32, f32)> = Vec::new();
+        match &self.stream {
+            TokenStream::Word => {
+                let words: Vec<&[u8]> = tokenize(span)
+                    .iter()
+                    .filter(|t| t.kind != TokenKind::Punct)
+                    .map(|t| t.text.as_bytes())
+                    .collect();
+                self.hasher.hash_ngrams_rolling(&words, &mut pairs);
+            }
+            TokenStream::Subword(encoder) => {
+                // Piece units live as `"p{id}"` byte runs in one arena;
+                // `bounds` holds the run boundaries. No per-piece String.
+                let mut ids: Vec<u32> = Vec::new();
+                let mut scratch = EncodeScratch::default();
+                for tok in tokenize(span) {
+                    if tok.kind == TokenKind::Punct {
+                        continue;
+                    }
+                    encoder.encode_word_into(tok.text, &mut ids, &mut scratch);
+                }
+                let mut arena: Vec<u8> = Vec::with_capacity(ids.len() * 4);
+                let mut bounds: Vec<usize> = Vec::with_capacity(ids.len() + 1);
+                bounds.push(0);
+                for &id in &ids {
+                    arena.push(b'p');
+                    push_decimal(&mut arena, id);
+                    bounds.push(arena.len());
+                }
+                let units: Vec<&[u8]> = bounds.windows(2).map(|w| &arena[w[0]..w[1]]).collect();
+                self.hasher.hash_ngrams_rolling(&units, &mut pairs);
+            }
+            TokenStream::Char => {
+                self.hasher.hash_char_ngrams_rolling(span, 3, 5, &mut pairs);
+            }
+        }
+        self.hasher.finalize_hashed(pairs, false)
+    }
+
+    fn span_features_legacy(&self, span: &str) -> SparseVec {
         let mut grams: Vec<String> = Vec::new();
         match &self.stream {
             TokenStream::Word => {
@@ -196,6 +258,21 @@ fn push_ngrams(grams: &mut Vec<String>, units: &[String]) {
     for w in units.windows(2) {
         grams.push(format!("2|{} {}", w[0], w[1]));
     }
+}
+
+/// Appends the decimal digits of `v`, matching `format!("{v}")`.
+fn push_decimal(buf: &mut Vec<u8>, mut v: u32) {
+    let mut digits = [0u8; 10];
+    let mut i = digits.len();
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    buf.extend_from_slice(&digits[i..]);
 }
 
 fn fnv(bytes: &[u8]) -> u64 {
@@ -290,5 +367,33 @@ mod tests {
         // "reporting" unseen; shares subword pieces with "report".
         let a = f.features("reporting");
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn rolling_path_is_byte_identical_to_legacy() {
+        let docs = [
+            "we need to report him to the platform",
+            "lets mass flag her account right now, spread the word",
+            "post his address and phone number: 555-0147 — dox incoming",
+            "RAID the stream tonight!!! bring everyone",
+            "报告 この アカウント héllo wörld",
+            "",
+            "   \n\t ",
+            "a",
+            "short",
+        ];
+        let long = "we need to report him right now ".repeat(300);
+        for mode in [FeatureMode::Word, FeatureMode::Subword, FeatureMode::Char] {
+            let f = fit(mode);
+            for doc in docs.iter().copied().chain(std::iter::once(long.as_str())) {
+                let rolling = f.features(doc);
+                let legacy = f.features_legacy(doc);
+                assert_eq!(rolling.len(), legacy.len(), "{mode:?}: {doc:?}");
+                for (r, l) in rolling.iter().zip(legacy.iter()) {
+                    assert_eq!(r.0, l.0, "{mode:?}: {doc:?}");
+                    assert_eq!(r.1.to_bits(), l.1.to_bits(), "{mode:?}: {doc:?}");
+                }
+            }
+        }
     }
 }

@@ -106,7 +106,17 @@ impl LogisticRegression {
                 sum += v * w;
             }
         }
-        sigmoid(sum + self.bias)
+        self.proba_from_margin(sum)
+    }
+
+    /// Finishes a dot product into a probability: `sigmoid(margin + bias)`.
+    ///
+    /// Public so external spmv kernels (the tiled scorer in
+    /// `batch::FeatureMatrix`) can accumulate margins themselves and still
+    /// produce bit-identical probabilities to [`Self::predict_proba_row`].
+    #[inline]
+    pub fn proba_from_margin(&self, margin: f32) -> f32 {
+        sigmoid(margin + self.bias)
     }
 
     /// The fitted weight vector.

@@ -1,0 +1,541 @@
+//! Lazy char-class DFA: an existence prefilter in front of the Pike VM.
+//!
+//! The 12 PII extractors run over every document, and the overwhelmingly
+//! common outcome is *no match*: the Pike VM still pays an epsilon-closure
+//! with reference-counted capture slots at every input position to discover
+//! that. This module compiles the same NFA program, on demand, into a DFA
+//! over character equivalence classes and answers one question — "does any
+//! match exist in `text[start..]`?" — with one table lookup per character.
+//!
+//! Division of labor:
+//!
+//! * **Miss (the hot case):** the DFA proves no match exists and the caller
+//!   returns `None` without ever running the Pike VM.
+//! * **Hit:** the DFA only proves existence; the caller falls back to the
+//!   unchanged Pike VM, which reports the exact leftmost-first span and
+//!   capture slots. Correctness is therefore by construction: every span or
+//!   capture the engine ever reports still comes from the same VM code path
+//!   as before.
+//! * **Bail:** if the pattern is too large to classify, the state cache
+//!   overflows too often, or the cache lock is contended, the scan gives up
+//!   and the caller runs the Pike VM alone — the DFA is an optimization,
+//!   never a semantic dependency.
+//!
+//! Determinism: the cache is bounded at [`MAX_STATES`] states and, on
+//! overflow, is flushed *entirely* and rebuilt from the live scan state.
+//! Which states exist after any number of scans is a pure function of the
+//! pattern and the scanned inputs — there is no recency or frequency
+//! eviction that could depend on timing. A scan that flushes more than
+//! [`MAX_FLUSHES`] times gives up deterministically (the cache-overflow
+//! fallback), so the Pike-vs-DFA decision is itself reproducible. All
+//! bookkeeping uses `BTreeMap`/`Vec` — no randomized hashing anywhere near
+//! the scoring path (INC012).
+
+use crate::ast::PerlClass;
+use crate::compile::{perl_matches, CharPred, Inst, Program};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Programs above this size never get a DFA (pending-pc sets and per-step
+/// closures would dwarf the Pike VM's cost on patterns this large).
+const MAX_DFA_PROGRAM: usize = 4096;
+
+/// Maximum distinct character predicates: signatures are bitsets in a
+/// `u64` with the top bit reserved for the word-character property.
+const MAX_PREDS: usize = 48;
+
+/// Maximum character equivalence classes (the class list is grow-only and
+/// survives state flushes; exceeding it bails the scan to the Pike VM).
+const MAX_CLASSES: usize = 96;
+
+/// State-cache bound. On overflow the whole cache is flushed — a
+/// deterministic function of pattern + input, unlike LRU-style eviction.
+const MAX_STATES: usize = 512;
+
+/// A single scan that flushes more than this gives up and falls back to
+/// the Pike VM: the pattern's reachable state space is too large to cache.
+const MAX_FLUSHES: usize = 4;
+
+/// Signature bit recording `\w`-ness of the class (for `\b` / `\B`).
+const WORD_BIT: u64 = 1 << 63;
+
+/// `State::trans` sentinel: transition not yet computed.
+const UNCOMPUTED: u32 = u32::MAX;
+/// `State::trans` sentinel: taking this transition proves a match exists.
+const MATCHED: u32 = u32::MAX - 1;
+
+/// Outcome of an existence scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Scan {
+    /// No match exists anywhere in `text[start..]` — the caller can return
+    /// `None` without running the Pike VM.
+    NoMatch,
+    /// At least one match exists; the Pike VM must run to find its span.
+    MatchExists,
+    /// The DFA gave up (cache overflow, class overflow, or lock
+    /// contention); the caller must run the Pike VM alone.
+    GaveUp,
+}
+
+/// A DFA state: the set of NFA `Char` pcs pending consumption at the
+/// current position, plus the zero-width context bits that epsilon closure
+/// depends on. The pending set is kept sorted — priority order is
+/// irrelevant for existence, and normalizing collapses equivalent states.
+type StateKey = (Vec<u16>, bool, bool);
+
+#[derive(Debug)]
+struct State {
+    pending: Vec<u16>,
+    at_start: bool,
+    prev_is_word: bool,
+    /// Transition per class id; grown on demand, `UNCOMPUTED` until built.
+    trans: Vec<u32>,
+}
+
+/// The mutable half of the DFA, shared across scans behind a `Mutex`.
+/// Scans use `try_lock`: a contended scan bails to the Pike VM (identical
+/// output, just slower) instead of serializing concurrent extractors.
+#[derive(Debug, Default)]
+struct Cache {
+    /// Equivalence-class signatures, grow-only (survives state flushes).
+    classes: Vec<u64>,
+    ids: BTreeMap<StateKey, u32>,
+    states: Vec<State>,
+    /// Total deterministic flushes since construction (diagnostics).
+    flushes: u64,
+}
+
+impl Cache {
+    /// Class id for a signature, registering it if new.
+    fn class_of_signature(&mut self, sig: u64) -> Option<u16> {
+        if let Some(i) = self.classes.iter().position(|&s| s == sig) {
+            return Some(i as u16);
+        }
+        if self.classes.len() >= MAX_CLASSES {
+            return None;
+        }
+        self.classes.push(sig);
+        Some((self.classes.len() - 1) as u16)
+    }
+
+    /// Interns a state, flushing the whole cache first if it is full.
+    /// Returns `(id, flushed)`.
+    fn intern(&mut self, pending: Vec<u16>, at_start: bool, prev_is_word: bool) -> (u32, bool) {
+        let key: StateKey = (pending, at_start, prev_is_word);
+        if let Some(&id) = self.ids.get(&key) {
+            return (id, false);
+        }
+        let mut flushed = false;
+        if self.states.len() >= MAX_STATES {
+            // Deterministic wholesale flush: no recency bookkeeping, so the
+            // cache contents never depend on scan interleaving history
+            // beyond the inputs themselves.
+            self.ids.clear();
+            self.states.clear();
+            self.flushes += 1;
+            flushed = true;
+        }
+        let id = self.states.len() as u32;
+        self.states.push(State {
+            pending: key.0.clone(),
+            at_start: key.1,
+            prev_is_word: key.2,
+            trans: Vec::new(),
+        });
+        self.ids.insert(key, id);
+        (id, flushed)
+    }
+}
+
+/// One step's result while the transition is being computed.
+enum Step {
+    /// Epsilon closure reached `Match`: a match exists.
+    Matched,
+    /// The next pending set (sorted, deduped) after consuming the class.
+    Next(Vec<u16>),
+}
+
+/// The immutable half of the DFA, built once per compiled `Regex`.
+#[derive(Debug)]
+pub(crate) struct Dfa {
+    /// Distinct `Char` predicates of the program, in first-use order.
+    preds: Vec<CharPred>,
+    /// pc → index into `preds` for `Char` instructions (`u16::MAX` else).
+    pred_of: Vec<u16>,
+    /// Precomputed class ids for ASCII; non-ASCII classifies on the fly.
+    ascii: [u16; 128],
+    case_insensitive: bool,
+    cache: Mutex<Cache>,
+}
+
+/// Which predicates accept `c`, plus the word-character bit.
+fn signature(preds: &[CharPred], c: char, ci: bool) -> u64 {
+    let mut sig = 0u64;
+    for (i, pred) in preds.iter().enumerate() {
+        if pred.matches(c, ci) {
+            sig |= 1u64 << i;
+        }
+    }
+    if perl_matches(PerlClass::Word, c) {
+        sig |= WORD_BIT;
+    }
+    sig
+}
+
+impl Dfa {
+    /// Builds the DFA skeleton for `prog`, or `None` when the program is
+    /// outside the DFA's caps (the `Regex` then always runs the Pike VM).
+    pub(crate) fn build(prog: &Program) -> Option<Dfa> {
+        if prog.insts.len() > MAX_DFA_PROGRAM {
+            return None;
+        }
+        let mut preds: Vec<CharPred> = Vec::new();
+        let mut pred_of = vec![u16::MAX; prog.insts.len()];
+        for (pc, inst) in prog.insts.iter().enumerate() {
+            if let Inst::Char(pred) = inst {
+                let idx = match preds.iter().position(|p| p == pred) {
+                    Some(i) => i,
+                    None => {
+                        preds.push(pred.clone());
+                        preds.len() - 1
+                    }
+                };
+                if idx >= MAX_PREDS {
+                    return None;
+                }
+                pred_of[pc] = idx as u16;
+            }
+        }
+        let mut cache = Cache::default();
+        let mut ascii = [0u16; 128];
+        for b in 0u8..128 {
+            let sig = signature(&preds, b as char, prog.case_insensitive);
+            ascii[b as usize] = cache.class_of_signature(sig)?;
+        }
+        Some(Dfa {
+            preds,
+            pred_of,
+            ascii,
+            case_insensitive: prog.case_insensitive,
+            cache: Mutex::new(cache),
+        })
+    }
+
+    /// Does any match of `prog` exist in `text[start..]`?
+    ///
+    /// Mirrors the Pike VM's unanchored search exactly: the start thread is
+    /// seeded at every position (pc 0 at lowest priority) and zero-width
+    /// assertions see the same context the VM computes, including the
+    /// character *before* `start` for `\b`. Only the answer differs — this
+    /// scan stops at "a match exists" instead of resolving which one wins.
+    pub(crate) fn scan(&self, prog: &Program, text: &str, start: usize) -> Scan {
+        let Some(tail) = text.get(start..) else {
+            // Out-of-bounds / non-boundary start: the VM treats this as a
+            // clean miss, so the prefilter may too.
+            return Scan::NoMatch;
+        };
+        let Ok(mut guard) = self.cache.try_lock() else {
+            return Scan::GaveUp;
+        };
+        let cache = &mut *guard;
+        let prev_is_word = start > 0
+            && text[..start]
+                .chars()
+                .next_back()
+                .is_some_and(|c| perl_matches(PerlClass::Word, c));
+
+        let mut scan_flushes = 0usize;
+        let (mut state, _) = cache.intern(Vec::new(), start == 0, prev_is_word);
+        for c in tail.chars() {
+            let cls = if (c as u32) < 128 {
+                self.ascii[c as usize]
+            } else {
+                let sig = signature(&self.preds, c, self.case_insensitive);
+                match cache.class_of_signature(sig) {
+                    Some(cls) => cls,
+                    None => return Scan::GaveUp,
+                }
+            };
+            let cached = cache.states[state as usize]
+                .trans
+                .get(cls as usize)
+                .copied()
+                .unwrap_or(UNCOMPUTED);
+            state = match cached {
+                MATCHED => return Scan::MatchExists,
+                UNCOMPUTED => {
+                    let here = &cache.states[state as usize];
+                    let step = self.step(
+                        prog,
+                        &here.pending,
+                        here.at_start,
+                        here.prev_is_word,
+                        Some(cache.classes[cls as usize]),
+                    );
+                    match step {
+                        Step::Matched => {
+                            set_transition(&mut cache.states[state as usize], cls, MATCHED);
+                            return Scan::MatchExists;
+                        }
+                        Step::Next(pending) => {
+                            let next_word = cache.classes[cls as usize] & WORD_BIT != 0;
+                            let (next, flushed) = cache.intern(pending, false, next_word);
+                            if flushed {
+                                // The flush dropped the current state (and
+                                // its half-built transition row); just keep
+                                // scanning from the re-interned successor.
+                                scan_flushes += 1;
+                                if scan_flushes > MAX_FLUSHES {
+                                    return Scan::GaveUp;
+                                }
+                            } else {
+                                set_transition(&mut cache.states[state as usize], cls, next);
+                            }
+                            next
+                        }
+                    }
+                }
+                id => id,
+            };
+        }
+        // End of input: one closure with `at_end` set and nothing to
+        // consume (the VM's final loop iteration).
+        let eof_state = &cache.states[state as usize];
+        match self.step(
+            prog,
+            &eof_state.pending,
+            eof_state.at_start,
+            eof_state.prev_is_word,
+            None,
+        ) {
+            Step::Matched => Scan::MatchExists,
+            Step::Next(_) => Scan::NoMatch,
+        }
+    }
+
+    /// One DFA step: epsilon closure of `pending + seed` under the position
+    /// context, then consumption of `cls` (`None` = end of input).
+    ///
+    /// The closure follows exactly the transitions the Pike VM's
+    /// `add_thread` follows — `Save` is a no-op here because capture
+    /// positions cannot affect *whether* a match exists, only where it is.
+    fn step(
+        &self,
+        prog: &Program,
+        pending: &[u16],
+        at_start: bool,
+        prev_is_word: bool,
+        cls: Option<u64>,
+    ) -> Step {
+        let at_end = cls.is_none();
+        let next_is_word = cls.is_some_and(|sig| sig & WORD_BIT != 0);
+        let mut seen = vec![false; prog.insts.len()];
+        // Pending pcs plus the fresh seed at pc 0 (the VM re-seeds every
+        // position until a match is found; existence scans always qualify).
+        let mut stack: Vec<usize> = Vec::with_capacity(pending.len() + 1);
+        stack.push(0);
+        stack.extend(pending.iter().rev().map(|&pc| pc as usize));
+        let mut consume: Vec<usize> = Vec::new();
+        while let Some(pc) = stack.pop() {
+            let Some(slot) = seen.get_mut(pc) else {
+                debug_assert!(false, "dfa pc {pc} outside program");
+                continue;
+            };
+            if *slot {
+                continue;
+            }
+            *slot = true;
+            match &prog.insts[pc] {
+                Inst::Match => return Step::Matched,
+                Inst::Char(_) => consume.push(pc),
+                Inst::Jmp(t) => stack.push(*t),
+                Inst::Split(a, b) => {
+                    stack.push(*a);
+                    stack.push(*b);
+                }
+                Inst::Save(_) => stack.push(pc + 1),
+                Inst::AssertStart => {
+                    if at_start {
+                        stack.push(pc + 1);
+                    }
+                }
+                Inst::AssertEnd => {
+                    if at_end {
+                        stack.push(pc + 1);
+                    }
+                }
+                Inst::WordBoundary { negated } => {
+                    if (prev_is_word != next_is_word) != *negated {
+                        stack.push(pc + 1);
+                    }
+                }
+            }
+        }
+        let mut next: Vec<u16> = match cls {
+            None => Vec::new(),
+            Some(sig) => consume
+                .iter()
+                .filter(|&&pc| {
+                    let pred = self.pred_of[pc];
+                    pred != u16::MAX && sig & (1u64 << pred) != 0
+                })
+                .map(|&pc| (pc + 1) as u16)
+                .collect(),
+        };
+        next.sort_unstable();
+        next.dedup();
+        Step::Next(next)
+    }
+
+    /// Deterministic flush count (test/diagnostic hook).
+    #[cfg(test)]
+    pub(crate) fn flushes(&self) -> u64 {
+        self.cache.lock().map(|c| c.flushes).unwrap_or(0)
+    }
+}
+
+/// Writes `state.trans[cls] = value`, growing the row as needed.
+fn set_transition(state: &mut State, cls: u16, value: u32) {
+    let idx = cls as usize;
+    if state.trans.len() <= idx {
+        state.trans.resize(idx + 1, UNCOMPUTED);
+    }
+    state.trans[idx] = value;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::parser::parse;
+    use crate::vm;
+
+    fn prog(pat: &str) -> Program {
+        compile(&parse(pat).unwrap(), false).unwrap()
+    }
+
+    fn scan(pat: &str, text: &str) -> Scan {
+        let p = prog(pat);
+        let d = Dfa::build(&p).expect("dfa");
+        d.scan(&p, text, 0)
+    }
+
+    #[test]
+    fn existence_agrees_with_pike_on_basics() {
+        for (pat, text) in [
+            ("dox", "please dox him"),
+            ("dox", "nothing here"),
+            (r"\d{3}-\d{4}", "call 555-0187 now"),
+            (r"\d{3}-\d{4}", "call 555018 now"),
+            ("^abc", "abcdef"),
+            ("^abc", "xabc"),
+            ("def$", "abcdef"),
+            ("def$", "defabc"),
+            (r"\bcat\b", "the cat sat"),
+            (r"\bcat\b", "concatenate"),
+            (r"\Bcat\B", "concatenate"),
+            ("", "anything"),
+            ("", ""),
+            ("a+", ""),
+            ("ö+", "grün öö"),
+        ] {
+            let p = prog(pat);
+            let pike = vm::search(&p, text, 0).is_some();
+            let dfa = match scan(pat, text) {
+                Scan::MatchExists => true,
+                Scan::NoMatch => false,
+                Scan::GaveUp => panic!("unexpected bail for {pat:?}"),
+            };
+            assert_eq!(dfa, pike, "pattern {pat:?} over {text:?}");
+        }
+    }
+
+    #[test]
+    fn scan_honors_start_offset_context() {
+        // \b just after the start offset must still see prior context.
+        let p = prog(r"\bword\b");
+        let d = Dfa::build(&p).expect("dfa");
+        assert_eq!(d.scan(&p, "sword", 1), Scan::NoMatch);
+        assert_eq!(d.scan(&p, "a word", 2), Scan::MatchExists);
+        // ^ is absolute, not relative to the offset.
+        let p2 = prog("^ab");
+        let d2 = Dfa::build(&p2).expect("dfa");
+        assert_eq!(d2.scan(&p2, "xab", 1), Scan::NoMatch);
+        // Out-of-bounds and non-char-boundary starts are clean misses,
+        // matching the VM.
+        assert_eq!(d.scan(&p, "abc", 99), Scan::NoMatch);
+        assert_eq!(d2.scan(&p2, "éab", 1), Scan::NoMatch);
+    }
+
+    #[test]
+    fn cache_overflow_flushes_then_gives_up() {
+        // ~2^15 reachable subset states: every input position whose trailing
+        // 15-char window differs yields a fresh state, so the 512-state
+        // cache flushes repeatedly and the scan must bail to the Pike VM.
+        let p = prog("a(a|b){15}c");
+        let d = Dfa::build(&p).expect("dfa");
+        let mut text = String::new();
+        let mut x = 0x1234_5678u64;
+        for _ in 0..6000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            text.push(if x >> 63 == 0 { 'a' } else { 'b' });
+        }
+        assert_eq!(d.scan(&p, &text, 0), Scan::GaveUp);
+        assert!(d.flushes() > MAX_FLUSHES as u64, "flushes: {}", d.flushes());
+        // The public API must still answer correctly via the Pike VM.
+        let re = crate::Regex::new("a(a|b){15}c").unwrap();
+        assert_eq!(
+            re.find(&text).map(|m| (m.start, m.end)),
+            vm::search(&p, &text, 0)
+        );
+        assert!(!re.is_match(&text));
+    }
+
+    #[test]
+    fn capture_groups_come_from_the_pike_vm() {
+        // The DFA only answers existence; spans and groups must be the
+        // VM's. A capture pattern through the public API exercises the
+        // MatchExists → Pike fallback.
+        let re = crate::Regex::new(r"(\w+)@(\w+)\.com").unwrap();
+        let caps = re.captures("mail someone@example.com now").unwrap();
+        assert_eq!(caps.get(1).unwrap().as_str(), "someone");
+        assert_eq!(caps.get(2).unwrap().as_str(), "example");
+        // And the NoMatch side skips the VM entirely yet agrees with it.
+        let p = prog(r"(\w+)@(\w+)\.com");
+        assert!(re.captures("no at sign here").is_none());
+        assert!(vm::search_captures(&p, "no at sign here", 0).is_none());
+    }
+
+    #[test]
+    fn flushed_cache_still_scans_correctly() {
+        // After a mid-scan flush the scan continues from re-interned state;
+        // a later match must still be found.
+        let p = prog("a(a|b){12}c");
+        let d = Dfa::build(&p).expect("dfa");
+        let mut text = String::new();
+        let mut x = 0xdead_beefu64;
+        for _ in 0..1500 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            text.push(if x >> 63 == 0 { 'a' } else { 'b' });
+        }
+        text.push_str("aabbabababbabc");
+        let got = d.scan(&p, &text, 0);
+        let pike = vm::search(&p, &text, 0).is_some();
+        match got {
+            Scan::MatchExists => assert!(pike),
+            Scan::NoMatch => assert!(!pike),
+            Scan::GaveUp => {} // also fine: caller runs the VM
+        }
+    }
+
+    #[test]
+    fn huge_programs_get_no_dfa() {
+        let p = prog("(?:a{100}){50}"); // 5000+ insts exceeds MAX_DFA_PROGRAM
+        assert!(p.insts.len() > MAX_DFA_PROGRAM);
+        assert!(Dfa::build(&p).is_none());
+    }
+}

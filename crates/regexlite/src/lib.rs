@@ -24,6 +24,7 @@
 
 pub mod ast;
 pub mod compile;
+mod dfa;
 pub mod error;
 pub mod parser;
 pub mod vm;
@@ -31,6 +32,7 @@ pub mod vm;
 pub use error::Error;
 
 use compile::Program;
+use dfa::{Dfa, Scan};
 
 /// A compiled regular expression.
 ///
@@ -45,10 +47,24 @@ use compile::Program;
 /// let re = Regex::case_insensitive("twitter").unwrap();
 /// assert!(re.is_match("check TWITTER now"));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Regex {
     program: Program,
     pattern: String,
+    /// Lazy existence-prefilter DFA (`None` when the program exceeds the
+    /// DFA's caps — matching then always runs the Pike VM alone).
+    dfa: Option<Dfa>,
+}
+
+impl Clone for Regex {
+    fn clone(&self) -> Regex {
+        // The DFA's state cache is derived data; a clone starts cold.
+        Regex {
+            program: self.program.clone(),
+            pattern: self.pattern.clone(),
+            dfa: Dfa::build(&self.program),
+        }
+    }
 }
 
 /// A single match: byte offsets into the haystack.
@@ -122,9 +138,11 @@ impl Regex {
     fn with_options(pattern: &str, ci: bool) -> Result<Regex, Error> {
         let ast = parser::parse(pattern)?;
         let program = compile::compile(&ast, ci)?;
+        let dfa = Dfa::build(&program);
         Ok(Regex {
             program,
             pattern: pattern.to_string(),
+            dfa,
         })
     }
 
@@ -139,8 +157,16 @@ impl Regex {
     }
 
     /// Whether the pattern matches anywhere in `text`.
+    ///
+    /// Existence needs no span, so the DFA prefilter can answer both ways
+    /// on its own; only a DFA bail (cache overflow / contention) runs the
+    /// Pike VM here.
     pub fn is_match(&self, text: &str) -> bool {
-        self.find(text).is_some()
+        match self.prefilter(text, 0) {
+            Scan::NoMatch => false,
+            Scan::MatchExists => true,
+            Scan::GaveUp => self.find(text).is_some(),
+        }
     }
 
     /// Finds the leftmost match.
@@ -149,13 +175,28 @@ impl Regex {
     }
 
     /// Finds the leftmost match starting at or after byte offset `start`.
+    ///
+    /// The DFA prefilter screens out the no-match case (the common one for
+    /// PII extraction); any hit falls through to the unchanged Pike VM,
+    /// which reports the exact leftmost-first span.
     pub fn find_at<'t>(&self, text: &'t str, start: usize) -> Option<Match<'t>> {
+        if self.prefilter(text, start) == Scan::NoMatch {
+            return None;
+        }
         let (s, e) = vm::search(&self.program, text, start)?;
         Some(Match {
             haystack: text,
             start: s,
             end: e,
         })
+    }
+
+    /// Runs the DFA existence scan, or `GaveUp` when no DFA was built.
+    fn prefilter(&self, text: &str, start: usize) -> Scan {
+        match &self.dfa {
+            Some(dfa) => dfa.scan(&self.program, text, start),
+            None => Scan::GaveUp,
+        }
     }
 
     /// Iterates all non-overlapping matches, leftmost-first.
@@ -173,7 +214,13 @@ impl Regex {
     }
 
     /// Returns capture groups for the leftmost match at or after `start`.
+    ///
+    /// Captures always come from the Pike VM (the DFA tracks no slots);
+    /// the prefilter only saves the VM run when no match exists at all.
     pub fn captures_at<'t>(&self, text: &'t str, start: usize) -> Option<Captures<'t>> {
+        if self.prefilter(text, start) == Scan::NoMatch {
+            return None;
+        }
         let slots = vm::search_captures(&self.program, text, start)?;
         Some(Captures {
             haystack: text,

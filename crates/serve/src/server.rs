@@ -40,7 +40,12 @@ use std::time::{Duration, Instant};
 /// Maximum documents in one `/v1/score` or `/v1/redact` request.
 pub const MAX_DOCS_PER_REQUEST: usize = 1024;
 
-/// Acceptor poll tick and connection read timeout.
+/// Connection read timeout and drain/metrics poll tick.
+///
+/// The acceptor itself does NOT poll: it blocks in `accept` and is woken
+/// for drains by a loopback connection from [`ServerHandle::initiate_drain`].
+/// (A 25 ms accept-poll sleep here used to put a full tick on the p99 of
+/// every fresh connection; see BENCH_serve_latency.)
 const POLL: Duration = Duration::from_millis(25);
 
 /// How long `join` waits for open connections to finish after a drain
@@ -101,13 +106,6 @@ impl Server {
             addr: config.addr.clone(),
             source,
         })?;
-        listener
-            .set_nonblocking(true)
-            .map_err(|source| ServeError::Bind {
-                addr: config.addr.clone(),
-                source,
-            })?;
-
         let state = Arc::new(ServerState {
             classifier,
             extractor,
@@ -130,6 +128,19 @@ impl Server {
                 addr: addr.to_string(),
                 source,
             })?;
+
+        // Pre-warm both serving paths before accepting traffic, so the
+        // first real request never pays one-time costs (allocator pools,
+        // lazy regex DFA caches, featurizer scratch). The scores are
+        // discarded; scoring is pure, so warmup cannot perturb results.
+        let warmup: Vec<&str> =
+            vec!["warmup: report him and make him pay"; state.config.threads.max(1)];
+        let _ = incite_core::ScoringEngine::score_texts(
+            &state.classifier,
+            &warmup,
+            state.config.threads,
+        );
+        let _ = redact(&state.extractor, "warmup: call 212-555-0101, mail a@b.com");
 
         let acceptor = {
             let state = Arc::clone(&state);
@@ -169,6 +180,12 @@ impl ServerHandle {
     /// refused, the acceptor winds down. Idempotent; does not block.
     pub fn initiate_drain(&self) {
         self.state.draining.store(true, Ordering::Release);
+        // The acceptor blocks in `accept` (no poll tick); a loopback
+        // connection wakes it so it can observe the flag and exit. The
+        // flag is already set, so the woken acceptor drops the stream
+        // without serving it. Failure is fine: it means the listener is
+        // already gone.
+        let _ = TcpStream::connect(self.addr);
     }
 
     /// Drains and joins everything; see the module docs for the order.
@@ -210,9 +227,15 @@ impl ServerHandle {
 }
 
 fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
-    while !state.draining() {
+    loop {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                // A drain may have begun while blocked in accept (the
+                // wake-up stream from `initiate_drain` lands here); drop
+                // the connection unserved and exit.
+                if state.draining() {
+                    return;
+                }
                 // Track before spawning so a drain that starts between
                 // accept and spawn still waits for this connection.
                 state.open_connections.fetch_add(1, Ordering::AcqRel);
@@ -229,7 +252,7 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
                     state.open_connections.fetch_sub(1, Ordering::AcqRel);
                 }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) if state.draining() => return,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             // Transient accept errors (ECONNABORTED, EMFILE...): back off
             // briefly instead of spinning or dying.

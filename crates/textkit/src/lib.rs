@@ -27,10 +27,10 @@ pub mod span;
 pub mod tokenize;
 pub mod wordpiece;
 
-pub use hash::{fnv1a, FeatureHasher};
+pub use hash::{fnv1a, FeatureHasher, RollingSlot};
 pub use ngram::{char_ngrams, word_ngrams};
 pub use normalize::normalize;
 pub use rng::SplitMix64;
 pub use span::{sample_spans, SpanStrategy};
 pub use tokenize::{tokenize, Token, TokenKind};
-pub use wordpiece::{WordPieceEncoder, WordPieceTrainer, WordPieceVocab};
+pub use wordpiece::{EncodeScratch, WordPieceEncoder, WordPieceTrainer, WordPieceVocab};

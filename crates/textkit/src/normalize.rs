@@ -12,6 +12,24 @@ pub fn normalize(text: &str) -> String {
     let mut out = String::with_capacity(text.len());
     let mut pending_space = false;
     for ch in text.chars() {
+        // ASCII fast path: in that range White_Space ∪ Cc is exactly
+        // 0x00..=0x20 plus DEL, and lowercasing is the single-byte fold —
+        // the Unicode tables are only consulted for non-ASCII input.
+        if ch.is_ascii() {
+            let b = ch as u8;
+            if b <= b' ' || b == 0x7f {
+                if !out.is_empty() {
+                    pending_space = true;
+                }
+                continue;
+            }
+            if pending_space {
+                out.push(' ');
+                pending_space = false;
+            }
+            out.push(b.to_ascii_lowercase() as char);
+            continue;
+        }
         if ch.is_whitespace() || ch.is_control() {
             if !out.is_empty() {
                 pending_space = true;

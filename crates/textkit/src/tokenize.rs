@@ -42,6 +42,29 @@ fn is_punct(ch: char) -> bool {
     ch.is_ascii_punctuation() || (!ch.is_alphanumeric() && !ch.is_whitespace())
 }
 
+/// Extends a `Word` run starting at byte `i`: ASCII letters advance in a
+/// tight byte loop, non-ASCII alphanumerics (which can never be ASCII
+/// digits) continue the run after a single char decode. Returns the byte
+/// offset one past the run.
+fn word_run_end(text: &str, mut i: usize) -> usize {
+    let bytes = text.as_bytes();
+    loop {
+        while i < bytes.len() && bytes[i].is_ascii_alphabetic() {
+            i += 1;
+        }
+        if i < bytes.len() && bytes[i] >= 0x80 {
+            if let Some(ch) = text[i..].chars().next() {
+                if ch.is_alphanumeric() {
+                    i += ch.len_utf8();
+                    continue;
+                }
+            }
+        }
+        break;
+    }
+    i
+}
+
 /// Tokenizes text into words, numbers and punctuation.
 ///
 /// Rules:
@@ -51,11 +74,62 @@ fn is_punct(ch: char) -> bool {
 /// * maximal runs of digits become `Number` tokens;
 /// * a case change does not split (callers normalize first if desired).
 pub fn tokenize(text: &str) -> Vec<Token<'_>> {
+    let bytes = text.as_bytes();
     let mut tokens = Vec::new();
-    let mut chars = text.char_indices().peekable();
-    while let Some(&(start, ch)) = chars.peek() {
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        // ASCII fast path: classification in that range needs no Unicode
+        // tables (whitespace is 0x09..=0x0D and space; everything that is
+        // neither alphanumeric nor whitespace — punctuation, symbols,
+        // control characters — is a one-byte Punct token).
+        if b < 0x80 {
+            if b == b' ' || (0x09..=0x0d).contains(&b) {
+                i += 1;
+                continue;
+            }
+            if b.is_ascii_alphabetic() {
+                let start = i;
+                let end = word_run_end(text, i + 1);
+                tokens.push(Token {
+                    text: &text[start..end],
+                    start,
+                    end,
+                    kind: TokenKind::Word,
+                });
+                i = end;
+                continue;
+            }
+            if b.is_ascii_digit() {
+                let start = i;
+                let mut end = i + 1;
+                while end < bytes.len() && bytes[end].is_ascii_digit() {
+                    end += 1;
+                }
+                tokens.push(Token {
+                    text: &text[start..end],
+                    start,
+                    end,
+                    kind: TokenKind::Number,
+                });
+                i = end;
+                continue;
+            }
+            tokens.push(Token {
+                text: &text[i..i + 1],
+                start: i,
+                end: i + 1,
+                kind: TokenKind::Punct,
+            });
+            i += 1;
+            continue;
+        }
+        let Some(ch) = text[i..].chars().next() else {
+            break;
+        };
+        let start = i;
         if ch.is_whitespace() {
-            chars.next();
+            i += ch.len_utf8();
             continue;
         }
         if is_punct(ch) {
@@ -66,33 +140,18 @@ pub fn tokenize(text: &str) -> Vec<Token<'_>> {
                 end,
                 kind: TokenKind::Punct,
             });
-            chars.next();
+            i = end;
             continue;
         }
-        let numeric = ch.is_ascii_digit();
-        let mut end = start;
-        while let Some(&(i, c)) = chars.peek() {
-            let same_class = if numeric {
-                c.is_ascii_digit()
-            } else {
-                c.is_alphanumeric() && !c.is_ascii_digit()
-            };
-            if !same_class {
-                break;
-            }
-            end = i + c.len_utf8();
-            chars.next();
-        }
+        // Non-ASCII alphanumeric (never an ASCII digit): a Word run.
+        let end = word_run_end(text, start + ch.len_utf8());
         tokens.push(Token {
             text: &text[start..end],
             start,
             end,
-            kind: if numeric {
-                TokenKind::Number
-            } else {
-                TokenKind::Word
-            },
+            kind: TokenKind::Word,
         });
+        i = end;
     }
     tokens
 }

@@ -29,6 +29,11 @@ pub const UNK_TOKEN: &str = "[UNK]";
 pub struct WordPieceVocab {
     pieces: Vec<String>,
     index: HashMap<String, u32>,
+    /// Continuation pieces indexed by their text *without* the `##`
+    /// prefix, so the encoder can look up a candidate as a plain slice of
+    /// the word instead of assembling a `##`-prefixed string per probe.
+    /// Derived from `index`; rebuilt on deserialize like it.
+    continuations: HashMap<String, u32>,
 }
 
 impl WordPieceVocab {
@@ -37,6 +42,7 @@ impl WordPieceVocab {
     pub fn from_pieces<I: IntoIterator<Item = String>>(iter: I) -> Self {
         let mut pieces = Vec::new();
         let mut index = HashMap::new();
+        let mut continuations = HashMap::new();
         index.insert(UNK_TOKEN.to_string(), UNK_ID);
         pieces.push(UNK_TOKEN.to_string());
         for piece in iter {
@@ -44,11 +50,19 @@ impl WordPieceVocab {
                 continue;
             }
             if !index.contains_key(&piece) {
-                index.insert(piece.clone(), pieces.len() as u32);
+                let id = pieces.len() as u32;
+                if let Some(core) = piece.strip_prefix("##") {
+                    continuations.insert(core.to_string(), id);
+                }
+                index.insert(piece.clone(), id);
                 pieces.push(piece);
             }
         }
-        WordPieceVocab { pieces, index }
+        WordPieceVocab {
+            pieces,
+            index,
+            continuations,
+        }
     }
 
     /// Number of pieces, including `[UNK]`.
@@ -64,6 +78,13 @@ impl WordPieceVocab {
     /// Looks up a piece id.
     pub fn id(&self, piece: &str) -> Option<u32> {
         self.index.get(piece).copied()
+    }
+
+    /// Looks up a continuation piece by its text without the `##` prefix:
+    /// `id_continuation("port") == id("##port")`, with no string assembly
+    /// on the caller's side.
+    pub fn id_continuation(&self, core: &str) -> Option<u32> {
+        self.continuations.get(core).copied()
     }
 
     /// Looks up the piece text for an id.
@@ -206,6 +227,14 @@ impl From<WordPieceVocab> for Vec<String> {
     }
 }
 
+/// Reusable working storage for [`WordPieceEncoder::encode_word_into`].
+#[derive(Debug, Default)]
+pub struct EncodeScratch {
+    /// Byte offsets of the word's char starts, plus an end sentinel —
+    /// every match candidate is `&word[offsets[i]..offsets[j]]`.
+    offsets: Vec<usize>,
+}
+
 /// Greedy longest-match-first WordPiece encoder.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct WordPieceEncoder {
@@ -232,26 +261,43 @@ impl WordPieceEncoder {
     /// Encodes one word into piece ids. If any position fails to match, the
     /// whole word becomes a single `[UNK]` (BERT semantics).
     pub fn encode_word(&self, word: &str) -> Vec<u32> {
-        let chars: Vec<char> = word.chars().collect();
-        if chars.is_empty() {
-            return Vec::new();
-        }
-        if chars.len() > self.max_word_chars {
-            return vec![UNK_ID];
-        }
         let mut ids = Vec::new();
+        let mut scratch = EncodeScratch::default();
+        self.encode_word_into(word, &mut ids, &mut scratch);
+        ids
+    }
+
+    /// `encode_word` appending into `ids`, with all working storage drawn
+    /// from a caller-held [`EncodeScratch`] — the hot-loop variant used by
+    /// the featurizer so a corpus sweep does zero per-word allocation.
+    /// Candidates are probed as plain slices of `word` (continuations via
+    /// [`WordPieceVocab::id_continuation`]), never assembled into strings.
+    pub fn encode_word_into(&self, word: &str, ids: &mut Vec<u32>, scratch: &mut EncodeScratch) {
+        let offsets = &mut scratch.offsets;
+        offsets.clear();
+        offsets.extend(word.char_indices().map(|(i, _)| i));
+        if offsets.is_empty() {
+            return;
+        }
+        offsets.push(word.len());
+        let n = offsets.len() - 1;
+        if n > self.max_word_chars {
+            ids.push(UNK_ID);
+            return;
+        }
+        let first_piece = ids.len();
         let mut start = 0;
-        while start < chars.len() {
-            let mut end = chars.len();
+        while start < n {
+            let mut end = n;
             let mut matched = None;
             while end > start {
-                let core: String = chars[start..end].iter().collect();
-                let candidate = if start == 0 {
-                    core
+                let candidate = &word[offsets[start]..offsets[end]];
+                let id = if start == 0 {
+                    self.vocab.id(candidate)
                 } else {
-                    format!("##{core}")
+                    self.vocab.id_continuation(candidate)
                 };
-                if let Some(id) = self.vocab.id(&candidate) {
+                if let Some(id) = id {
                     matched = Some((id, end));
                     break;
                 }
@@ -262,10 +308,13 @@ impl WordPieceEncoder {
                     ids.push(id);
                     start = e;
                 }
-                None => return vec![UNK_ID],
+                None => {
+                    ids.truncate(first_piece);
+                    ids.push(UNK_ID);
+                    return;
+                }
             }
         }
-        ids
     }
 
     /// Encodes a sequence of words into a flat piece-id stream.
