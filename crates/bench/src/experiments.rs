@@ -65,6 +65,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "Rolling n-gram hashing vs legacy string path (BENCH line)",
     ),
     (
+        "swap_availability",
+        "Hot model swap under serve load (BENCH line)",
+    ),
+    (
         "extension_attack_types",
         "\u{a7}9.2 extension: per-attack-type classifiers",
     ),
@@ -105,6 +109,7 @@ pub fn run_experiment(id: &str, ctx: &mut ReproContext) -> Option<String> {
         "checkpoint_overhead" => crate::checkpoint_overhead::run(ctx),
         "serve_latency" => crate::serve_latency::run(ctx),
         "featurize_throughput" => crate::featurize_throughput::run(ctx),
+        "swap_availability" => crate::swap_availability::run(ctx),
         "extension_attack_types" => extension_attack_types(ctx),
         "extension_longitudinal" => extension_longitudinal(ctx),
         _ => return None,

@@ -9,10 +9,10 @@
 //! binary is a thin argument parser over [`run`].
 
 use incite_core::checkpoint::atomic_io::write_atomic;
-use incite_core::checkpoint::Resume;
+use incite_core::checkpoint::{Resume, MANIFEST_FILE};
 use incite_core::{
-    clear_run_dir, load_latest_classifier, run_pipeline_resumable, Checkpointer, PipelineConfig,
-    Task,
+    clear_run_dir, load_latest_classifier_with_hash, run_pipeline_resumable, Checkpointer,
+    PipelineConfig, ScoringEngine, Task,
 };
 use incite_corpus::jsonl::{self, QuarantineStats};
 use incite_corpus::{Corpus, CorpusConfig};
@@ -20,9 +20,12 @@ use incite_ml::{
     load_model, save_model, FeatureMode, FeaturizerConfig, TextClassifier, TrainConfig,
 };
 use incite_pii::{infer_gender, redact, PiiExtractor};
+use incite_serve::admission::TenantQuota;
+use incite_serve::journal::read_journal;
 use incite_serve::{ServeConfig, Server};
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// CLI errors, printable to stderr.
@@ -66,12 +69,23 @@ commands:
           killed run resumes from its last completed step and finishes
           with a byte-identical outcome. `--force true` discards any
           existing checkpoints in DIR first.
-  serve   --run-dir DIR [--addr HOST:PORT] [--threads N]
-          [--queue-depth Q] [--max-batch B] [--deadline-ms MS]
+  serve   (--run-dir DIR | --registry DIR) [--addr HOST:PORT]
+          [--threads N] [--queue-depth Q] [--max-batch B]
+          [--deadline-ms MS] [--io-window-ms MS] [--journal FILE]
+          [--tenants FILE.json]
           serve the latest classifier checkpointed in run directory DIR
-          over HTTP: POST /v1/score, POST /v1/redact, GET /healthz,
-          GET /metrics. SIGTERM / ctrl-c drains in-flight requests and
-          exits 0. Defaults: 127.0.0.1:7878, queue depth 256.
+          (or in the newest run directory under a --registry root) over
+          HTTP: POST /v1/score, POST /v1/redact, POST /v1/admin/swap,
+          GET /healthz, GET /metrics. --tenants takes a JSON array of
+          {name, key, capacity, refill_per_sec} token-bucket quotas;
+          --journal appends every scored response for offline `replay`.
+          SIGTERM / ctrl-c drains in-flight requests and exits 0.
+          Defaults: 127.0.0.1:7878, queue depth 256, open admission.
+  replay  --journal FILE [--run-dir DIR]
+          re-score a serve request journal offline and verify every
+          journaled response bit-for-bit against the checkpointed model;
+          exits nonzero on any mismatch. --run-dir overrides the
+          journaled run directory (for relocated checkpoints).
   score   --model MODEL.json [--input FILE] [--threshold T]
           score one text per input line; prints `score<TAB>text`
   pii     [--input FILE]
@@ -146,6 +160,43 @@ fn load_corpus_lines(
         return Err(err(format!("{corpus_path} contains no readable documents")));
     }
     Ok(docs)
+}
+
+/// Picks the newest servable run directory under a registry root: the
+/// lexically greatest immediate subdirectory holding a `MANIFEST.ckpt`.
+/// Registries name runs sortably (`run-2026-08-09`, `v0007`, ...), so
+/// lexical order is deployment order; directories without a manifest
+/// (scratch space, half-copied runs) are skipped, not errors.
+pub fn newest_run_dir(registry: &Path) -> Result<PathBuf, CliError> {
+    let entries = std::fs::read_dir(registry)
+        .map_err(|e| err(format!("read registry {}: {e}", registry.display())))?;
+    let mut best: Option<PathBuf> = None;
+    for entry in entries {
+        let path = entry
+            .map_err(|e| err(format!("read registry entry: {e}")))?
+            .path();
+        if !path.join(MANIFEST_FILE).is_file() {
+            continue;
+        }
+        match &best {
+            Some(current) if current.file_name() >= path.file_name() => {}
+            _ => best = Some(path),
+        }
+    }
+    best.ok_or_else(|| {
+        err(format!(
+            "{} holds no run directory with a {MANIFEST_FILE}",
+            registry.display()
+        ))
+    })
+}
+
+/// Parses a `--tenants` file: a JSON array of token-bucket quotas.
+fn load_tenants(path: &str) -> Result<Vec<TenantQuota>, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| err(format!("open tenants {path}: {e}")))?;
+    serde_json::from_str(&text)
+        .map_err(|_| err(format!("{path} is not a JSON array of tenant quotas")))
 }
 
 /// Runs one CLI command, writing results to `out`.
@@ -287,9 +338,19 @@ pub fn run(command: &str, args: &[String], out: &mut dyn Write) -> Result<(), Cl
             Ok(())
         }
         "serve" => {
-            let run_dir = flags.get("run-dir").ok_or_else(|| {
-                err("serve requires --run-dir DIR (a checkpointed run directory)")
-            })?;
+            let run_dir: PathBuf = match (flags.get("run-dir"), flags.get("registry")) {
+                (Some(_), Some(_)) => {
+                    return Err(err("serve takes --run-dir or --registry, not both"))
+                }
+                (Some(dir), None) => PathBuf::from(dir),
+                (None, Some(root)) => newest_run_dir(Path::new(root))?,
+                (None, None) => {
+                    return Err(err(
+                        "serve requires --run-dir DIR (a checkpointed run directory) \
+                         or --registry DIR (a root of run directories)",
+                    ))
+                }
+            };
             let mut config = ServeConfig::default();
             if let Some(addr) = flags.get("addr") {
                 config.addr = addr.clone();
@@ -315,20 +376,29 @@ pub fn run(command: &str, args: &[String], out: &mut dyn Write) -> Result<(), Cl
             if let Some(ms) = parse_usize("deadline-ms")? {
                 config.deadline = Duration::from_millis(ms as u64);
             }
-
-            // Load and verify the model BEFORE binding the port: a damaged
-            // run directory is a typed refusal with nothing listening — no
-            // partially-initialized server.
-            let classifier = load_latest_classifier(Path::new(run_dir))
-                .map_err(|e| err(format!("cannot serve from {run_dir}: {e}")))?;
+            if let Some(ms) = parse_usize("io-window-ms")? {
+                config.io_window = Duration::from_millis(ms as u64);
+            }
+            if let Some(path) = flags.get("journal") {
+                config.journal = Some(PathBuf::from(path));
+            }
+            if let Some(path) = flags.get("tenants") {
+                config.tenants = load_tenants(path)?;
+            }
 
             incite_serve::signal::install();
-            let handle = Server::start(classifier, config).map_err(|e| err(e.to_string()))?;
+            // The model is loaded and hash-verified BEFORE the port binds
+            // (inside start_from_run_dir): a damaged run directory is a
+            // typed refusal with nothing listening — no partially
+            // initialized server.
+            let handle =
+                Server::start_from_run_dir(&run_dir, config).map_err(|e| err(e.to_string()))?;
             writeln!(
                 out,
-                "incite-serve listening on http://{} (run dir: {run_dir}); \
+                "incite-serve listening on http://{} (run dir: {}); \
                  SIGTERM or ctrl-c drains and exits",
-                handle.local_addr()
+                handle.local_addr(),
+                run_dir.display()
             )
             .map_err(|e| err(e.to_string()))?;
             out.flush().map_err(|e| err(e.to_string()))?;
@@ -348,6 +418,89 @@ pub fn run(command: &str, args: &[String], out: &mut dyn Write) -> Result<(), Cl
                 return Err(err(format!(
                     "{} server thread(s) panicked during drain",
                     report.panicked_threads
+                )));
+            }
+            Ok(())
+        }
+        "replay" => {
+            let journal_path = flags
+                .get("journal")
+                .ok_or_else(|| err("replay requires --journal FILE"))?;
+            let override_dir = flags.get("run-dir").map(PathBuf::from);
+            let (records, damage) = read_journal(Path::new(journal_path))
+                .map_err(|e| err(format!("read journal {journal_path}: {e}")))?;
+            if let Some(offset) = damage {
+                writeln!(
+                    out,
+                    "warning: journal tail damaged at byte {offset}; \
+                     replaying the {} intact record(s) before it",
+                    records.len()
+                )
+                .map_err(|e| err(e.to_string()))?;
+            }
+            if records.is_empty() {
+                writeln!(
+                    out,
+                    "replayed 0 record(s) from {journal_path}: nothing to verify"
+                )
+                .map_err(|e| err(e.to_string()))?;
+                return Ok(());
+            }
+
+            // One load per distinct run directory; hash verification ties
+            // each journaled response to the exact weights it came from.
+            let mut models: BTreeMap<String, (TextClassifier, String)> = BTreeMap::new();
+            let mut matched = 0usize;
+            let mut mismatched: Vec<u64> = Vec::with_capacity(4);
+            for record in &records {
+                let dir = match &override_dir {
+                    Some(p) => p.display().to_string(),
+                    None => record.run_dir.clone(),
+                };
+                if dir.is_empty() {
+                    return Err(err(format!(
+                        "record seq {} names no run directory (the server booted \
+                         from an in-memory model); pass --run-dir",
+                        record.seq
+                    )));
+                }
+                if !models.contains_key(&dir) {
+                    let loaded = load_latest_classifier_with_hash(Path::new(&dir))
+                        .map_err(|e| err(format!("load model for seq {}: {e}", record.seq)))?;
+                    models.insert(dir.clone(), loaded);
+                }
+                let (classifier, hash) = &models[&dir];
+                if !record.model_hash.is_empty() && record.model_hash != *hash {
+                    return Err(err(format!(
+                        "seq {}: journaled model hash does not match the checkpointed \
+                         model — wrong run directory or a swapped checkpoint",
+                        record.seq
+                    )));
+                }
+                // The journaled texts feed the engine and nothing else:
+                // request content never reaches replay output (INC011).
+                let texts: Vec<&str> = record.texts.iter().map(String::as_str).collect();
+                let scores = ScoringEngine::score_texts(classifier, &texts, 1)
+                    .map_err(|e| err(format!("score seq {}: {}", record.seq, e.kind())))?;
+                let bits: Vec<u32> = scores.iter().map(|s| s.to_bits()).collect();
+                if bits == record.bits {
+                    matched += 1;
+                } else {
+                    mismatched.push(record.seq);
+                }
+            }
+            writeln!(
+                out,
+                "replayed {} record(s) from {journal_path}: {matched} matched, {} mismatched",
+                records.len(),
+                mismatched.len()
+            )
+            .map_err(|e| err(e.to_string()))?;
+            if !mismatched.is_empty() {
+                let seqs: Vec<String> = mismatched.iter().map(u64::to_string).collect();
+                return Err(err(format!(
+                    "replay does not reproduce the journaled bits at seq {}",
+                    seqs.join(", ")
                 )));
             }
             Ok(())
@@ -667,6 +820,153 @@ mod tests {
             return Err(err("serve on empty dir unexpectedly succeeded"));
         };
         assert!(e.0.contains("not a run directory"), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn newest_run_dir_selects_lexically_greatest_manifest() -> TestResult {
+        let dir = std::env::temp_dir().join(format!("incite-cli-reg-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        for (name, manifest) in [
+            ("run-2026-01", true),
+            ("run-2026-03", true),
+            ("scratch", false),
+            ("zz-notes", false),
+        ] {
+            let sub = dir.join(name);
+            std::fs::create_dir_all(&sub)?;
+            if manifest {
+                std::fs::write(sub.join(MANIFEST_FILE), b"{}")?;
+            }
+        }
+        let picked = newest_run_dir(&dir)?;
+        assert_eq!(
+            picked.file_name().and_then(|n| n.to_str()),
+            Some("run-2026-03"),
+            "lexically greatest manifest-bearing dir wins"
+        );
+
+        // A root with no servable runs is a typed refusal.
+        let Err(e) = newest_run_dir(&dir.join("scratch")) else {
+            return Err(err("empty registry unexpectedly yielded a run dir"));
+        };
+        assert!(e.0.contains("no run directory"), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn replay_reproduces_journal_and_fails_on_corrupt_bits() -> TestResult {
+        use incite_core::checkpoint::atomic_io::AppendLog;
+        use incite_serve::journal::JournalRecord;
+
+        let dir = std::env::temp_dir().join(format!("incite-cli-replay-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let run_dir = dir.join("run");
+        std::fs::create_dir_all(&run_dir)?;
+        let corpus = generate(&CorpusConfig::tiny(404));
+        let config = PipelineConfig::quick(3);
+        run_pipeline_resumable(&corpus, Task::Cth, &config, &run_dir)
+            .map_err(|e| err(e.to_string()))?;
+        let (classifier, hash) =
+            load_latest_classifier_with_hash(&run_dir).map_err(|e| err(e.to_string()))?;
+
+        let record =
+            |seq: u64, model_hash: &str, texts: Vec<String>, bits: Vec<u32>| JournalRecord {
+                seq,
+                generation: 1,
+                model_hash: model_hash.to_string(),
+                run_dir: run_dir.display().to_string(),
+                tenant: "default".to_string(),
+                texts,
+                bits,
+            };
+        let texts: Vec<String> = corpus
+            .documents
+            .iter()
+            .skip(700)
+            .take(4)
+            .map(|d| d.text.clone())
+            .collect();
+        let bits: Vec<u32> = texts
+            .iter()
+            .map(|t| classifier.score(t).to_bits())
+            .collect();
+
+        let good = dir.join("good.journal");
+        {
+            let mut log = AppendLog::open(&good).map_err(|e| err(e.to_string()))?;
+            for (i, (t, b)) in texts.iter().zip(&bits).enumerate() {
+                let line =
+                    serde_json::to_string(&record(i as u64 + 1, &hash, vec![t.clone()], vec![*b]))
+                        .map_err(|e| err(e.to_string()))?;
+                log.append(line.as_bytes())
+                    .map_err(|e| err(e.to_string()))?;
+            }
+        }
+        let mut out = Vec::new();
+        run("replay", &flags(&[("journal", path_str(&good)?)]), &mut out)?;
+        let text = String::from_utf8(out)?;
+        assert!(text.contains("4 matched, 0 mismatched"), "{text}");
+
+        // A journaled bit pattern the model cannot produce: nonzero exit
+        // naming the sequence number (never the text).
+        let bad = dir.join("bad.journal");
+        {
+            let mut log = AppendLog::open(&bad).map_err(|e| err(e.to_string()))?;
+            let line =
+                serde_json::to_string(&record(7, &hash, vec![texts[0].clone()], vec![bits[0] ^ 1]))
+                    .map_err(|e| err(e.to_string()))?;
+            log.append(line.as_bytes())
+                .map_err(|e| err(e.to_string()))?;
+        }
+        let mut out = Vec::new();
+        let Err(e) = run("replay", &flags(&[("journal", path_str(&bad)?)]), &mut out) else {
+            return Err(err("corrupt journal unexpectedly replayed clean"));
+        };
+        assert!(e.0.contains("seq 7"), "{e}");
+        assert!(
+            !e.0.contains(&texts[0]),
+            "journaled text leaked into the error"
+        );
+
+        // A record whose hash names different weights is refused outright.
+        let wrong = dir.join("wrong-model.journal");
+        {
+            let mut log = AppendLog::open(&wrong).map_err(|e| err(e.to_string()))?;
+            let line = serde_json::to_string(&record(
+                11,
+                "0123456789abcdef",
+                vec![texts[0].clone()],
+                vec![bits[0]],
+            ))
+            .map_err(|e| err(e.to_string()))?;
+            log.append(line.as_bytes())
+                .map_err(|e| err(e.to_string()))?;
+        }
+        let mut out = Vec::new();
+        let Err(e) = run(
+            "replay",
+            &flags(&[("journal", path_str(&wrong)?)]),
+            &mut out,
+        ) else {
+            return Err(err("hash-mismatched journal unexpectedly replayed clean"));
+        };
+        assert!(e.0.contains("model hash does not match"), "{e}");
+
+        // A torn tail (crash mid-append) is a warning plus the intact
+        // prefix, never silent trust of damaged bytes.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&good)?;
+            f.write_all(b"{\"seq\":99, torn mid-append")?;
+        }
+        let mut out = Vec::new();
+        run("replay", &flags(&[("journal", path_str(&good)?)]), &mut out)?;
+        let text = String::from_utf8(out)?;
+        assert!(text.contains("journal tail damaged"), "{text}");
+        assert!(text.contains("4 matched, 0 mismatched"), "{text}");
         std::fs::remove_dir_all(&dir).ok();
         Ok(())
     }

@@ -739,6 +739,17 @@ fn parse_json<T: serde::Deserialize>(
 /// not re-verify every section file: serving only needs the weights, and
 /// the ledger/scores sections may be arbitrarily large.
 pub fn load_latest_classifier(root: &Path) -> Result<TextClassifier, CheckpointError> {
+    load_latest_classifier_with_hash(root).map(|(classifier, _)| classifier)
+}
+
+/// [`load_latest_classifier`] that also returns the model section's
+/// verified content hash (the manifest-recorded FNV-64 hex). The hash is
+/// the model's provenance identity: the serve-side model registry stamps
+/// it on every scored response and the request journal records it, so a
+/// replay can prove it re-scored with the *same* weights.
+pub fn load_latest_classifier_with_hash(
+    root: &Path,
+) -> Result<(TextClassifier, String), CheckpointError> {
     let manifest_path = root.join(MANIFEST_FILE);
     if !manifest_path.exists() {
         return Err(CheckpointError::Incompatible {
@@ -781,10 +792,11 @@ pub fn load_latest_classifier(root: &Path) -> Result<TextClassifier, CheckpointE
             actual,
         });
     }
-    load_model_bin(payload.as_slice()).map_err(|e| CheckpointError::Corrupt {
+    let classifier = load_model_bin(payload.as_slice()).map_err(|e| CheckpointError::Corrupt {
         path,
         detail: format!("model artifact does not load: {e}"),
-    })
+    })?;
+    Ok((classifier, record.hash.clone()))
 }
 
 /// Removes all checkpoint files (`*.ckpt`) from `root`, enabling a fresh

@@ -148,6 +148,102 @@ pub fn read_hashed(path: &Path) -> Result<Vec<u8>, CheckpointError> {
     Ok(payload.to_vec())
 }
 
+/// An append-only log of individually hash-framed records — the serve
+/// request journal's on-disk form.
+///
+/// Unlike the write-rename checkpoint files above, a journal must survive
+/// the *writer* dying mid-append: each record is one newline-free payload
+/// line followed by its own FNV footer line, so [`read_log`] can verify
+/// every complete record independently and classify a torn tail (the
+/// bytes after the last verified footer) as damage instead of silently
+/// trusting it. Lives in this module because INC006 forbids `OpenOptions`
+/// everywhere else.
+pub struct AppendLog {
+    file: fs::File,
+    path: PathBuf,
+}
+
+impl AppendLog {
+    /// Opens (creating if needed) `path` for appending.
+    pub fn open(path: &Path) -> Result<Self, CheckpointError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent).map_err(|e| io_err(parent, e))?;
+            }
+        }
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err(path, e))?;
+        Ok(AppendLog {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Appends one record. The payload must be a single line (the framing
+    /// relies on payloads never containing `\n`; JSON-encoded records
+    /// satisfy this by construction). The record and its footer are
+    /// written in one `write_all` so a torn append damages at most the
+    /// final record, which `read_log` then skips and reports.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), CheckpointError> {
+        if payload.contains(&b'\n') {
+            return Err(CheckpointError::Corrupt {
+                path: self.path.clone(),
+                detail: "journal record contains a newline".to_string(),
+            });
+        }
+        let mut framed = Vec::with_capacity(payload.len() + FOOTER_PREFIX.len() + 17);
+        framed.extend_from_slice(payload);
+        framed.extend_from_slice(FOOTER_PREFIX);
+        framed.extend_from_slice(fnv64_hex(payload).as_bytes());
+        framed.push(b'\n');
+        self.file
+            .write_all(&framed)
+            .map_err(|e| io_err(&self.path, e))?;
+        self.file.flush().map_err(|e| io_err(&self.path, e))
+    }
+}
+
+/// Reads an [`AppendLog`]: every record whose footer verifies, in append
+/// order, plus the byte offset where damage begins if the tail is torn
+/// (`None` when the whole file verifies). A missing or hash-mismatched
+/// footer anywhere before the end also counts as the start of damage —
+/// everything after the last clean record is untrusted.
+#[allow(clippy::type_complexity)]
+pub fn read_log(path: &Path) -> Result<(Vec<Vec<u8>>, Option<u64>), CheckpointError> {
+    let bytes = fs::read(path).map_err(|e| io_err(path, e))?;
+    let mut records = Vec::new();
+    let mut cursor = 0usize;
+    while cursor < bytes.len() {
+        // Payloads are newline-free, so the first footer marker past the
+        // cursor belongs to the current record.
+        let Some(rel) = bytes[cursor..]
+            .windows(FOOTER_PREFIX.len())
+            .position(|w| w == FOOTER_PREFIX)
+        else {
+            return Ok((records, Some(cursor as u64)));
+        };
+        let payload = &bytes[cursor..cursor + rel];
+        let footer_start = cursor + rel + FOOTER_PREFIX.len();
+        let footer_end = footer_start + 17;
+        if footer_end > bytes.len() {
+            return Ok((records, Some(cursor as u64)));
+        }
+        let footer = &bytes[footer_start..footer_end];
+        let clean = footer[16] == b'\n'
+            && footer[..16].iter().all(u8::is_ascii_hexdigit)
+            && footer[..16] == *fnv64_hex(payload).as_bytes();
+        if !clean {
+            return Ok((records, Some(cursor as u64)));
+        }
+        records.push(payload.to_vec());
+        cursor = footer_end;
+    }
+    Ok((records, None))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +310,68 @@ mod tests {
         let clean = std::fs::read(&path).expect("raw read");
         std::fs::write(&path, &clean[..clean.len() / 2]).expect("truncate");
         assert!(read_hashed(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_log_roundtrips_in_order() {
+        let dir = temp_dir("log");
+        let path = dir.join("journal.log");
+        let mut log = AppendLog::open(&path).expect("open");
+        log.append(br#"{"seq":1}"#).expect("append 1");
+        log.append(br#"{"seq":2}"#).expect("append 2");
+        drop(log);
+        // Reopening appends after the existing records.
+        let mut log = AppendLog::open(&path).expect("reopen");
+        log.append(br#"{"seq":3}"#).expect("append 3");
+        let (records, damage) = read_log(&path).expect("read");
+        assert_eq!(
+            records,
+            vec![
+                br#"{"seq":1}"#.to_vec(),
+                br#"{"seq":2}"#.to_vec(),
+                br#"{"seq":3}"#.to_vec()
+            ]
+        );
+        assert_eq!(damage, None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_log_rejects_multiline_payloads() {
+        let dir = temp_dir("log-nl");
+        let mut log = AppendLog::open(&dir.join("journal.log")).expect("open");
+        assert!(matches!(
+            log.append(b"two\nlines"),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_reported_not_trusted() {
+        let dir = temp_dir("log-torn");
+        let path = dir.join("journal.log");
+        let mut log = AppendLog::open(&path).expect("open");
+        log.append(b"record one").expect("append");
+        log.append(b"record two").expect("append");
+        drop(log);
+        let clean_len = std::fs::metadata(&path).expect("meta").len();
+        // A crash mid-append: half of a third record's bytes.
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes.extend_from_slice(b"record thr");
+        std::fs::write(&path, &bytes).expect("tear");
+        let (records, damage) = read_log(&path).expect("read log");
+        assert_eq!(records.len(), 2);
+        assert_eq!(damage, Some(clean_len));
+
+        // A flipped payload bit invalidates that record and the tail.
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[2] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("flip");
+        let (records, damage) = read_log(&path).expect("read log");
+        assert!(records.is_empty());
+        assert_eq!(damage, Some(0));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -174,6 +174,63 @@ mod tests {
         assert!(!sites.contains(&"mid-annotation-batch".to_string()));
     }
 
+    #[test]
+    fn disarm_of_never_armed_site_is_a_noop() {
+        // Valid with or without the feature: disarming a site that was
+        // never armed changes nothing and panics nowhere.
+        let mut fp = FailpointRegistry::new();
+        fp.disarm("never-armed");
+        assert!(!fp.is_armed());
+        assert_eq!(fp.check("never-armed"), Ok(()));
+    }
+
+    #[cfg(not(feature = "failpoints"))]
+    #[test]
+    fn registry_compiles_out_without_the_feature() {
+        // The release-mode contract: zero size, and arm is a no-op so
+        // check can never fail.
+        assert_eq!(std::mem::size_of::<FailpointRegistry>(), 0);
+        let mut fp = FailpointRegistry::new();
+        fp.arm("after-eval");
+        assert!(!fp.is_armed());
+        assert_eq!(fp.check("after-eval"), Ok(()));
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn double_arm_is_idempotent() {
+        // Arming the same site twice is one armed site: a single disarm
+        // fully clears it (set semantics, not a counter).
+        let mut fp = FailpointRegistry::new();
+        fp.arm("after-eval");
+        fp.arm("after-eval");
+        assert!(fp.check("after-eval").is_err());
+        fp.disarm("after-eval");
+        assert!(!fp.is_armed());
+        assert_eq!(fp.check("after-eval"), Ok(()));
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn check_ordering_is_deterministic() {
+        // With several sites armed, the first failure is decided by the
+        // caller's check order alone — run the same site sequence twice
+        // and the same site fails first both times.
+        let mut fp = FailpointRegistry::new();
+        fp.arm("after-score");
+        fp.arm("after-eval");
+        let sequence = ["after-bootstrap", "after-eval", "after-score"];
+        let first_failure = |fp: &FailpointRegistry| -> Option<String> {
+            sequence
+                .iter()
+                .find_map(|site| fp.check(site).err().map(|f| f.site))
+        };
+        let a = first_failure(&fp);
+        let b = first_failure(&fp);
+        assert_eq!(a.as_deref(), Some("after-eval"));
+        assert_eq!(a, b);
+    }
+
     #[cfg(feature = "failpoints")]
     #[test]
     fn armed_site_fails_until_disarmed() {

@@ -47,7 +47,8 @@ pub mod threshold;
 
 pub use attack_classifier::AttackTypeClassifier;
 pub use checkpoint::{
-    clear_run_dir, load_latest_classifier, CheckpointError, Checkpointer, PipelineSnapshot,
+    clear_run_dir, load_latest_classifier, load_latest_classifier_with_hash, CheckpointError,
+    Checkpointer, PipelineSnapshot,
 };
 pub use engine::{score_corpus, EngineStats, ScoringEngine};
 pub use failpoint::{pipeline_sites, FailpointRegistry, InjectedFault};

@@ -47,11 +47,22 @@ impl HttpClient {
     }
 
     pub fn get(&mut self, path: &str) -> std::io::Result<HttpResponse> {
-        self.request("GET", path, None)
+        self.request("GET", path, None, &[])
     }
 
     pub fn post_json(&mut self, path: &str, body: &str) -> std::io::Result<HttpResponse> {
-        self.request("POST", path, Some(body))
+        self.request("POST", path, Some(body), &[])
+    }
+
+    /// `post_json` with extra request headers, e.g. a tenant's
+    /// `x-api-key` for admission control.
+    pub fn post_json_with_headers(
+        &mut self,
+        path: &str,
+        body: &str,
+        extra_headers: &[(&str, &str)],
+    ) -> std::io::Result<HttpResponse> {
+        self.request("POST", path, Some(body), extra_headers)
     }
 
     fn request(
@@ -59,14 +70,22 @@ impl HttpClient {
         method: &str,
         path: &str,
         body: Option<&str>,
+        extra_headers: &[(&str, &str)],
     ) -> std::io::Result<HttpResponse> {
         let body = body.unwrap_or("");
-        let head = format!(
+        let mut head = format!(
             "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\n\
-             content-length: {}\r\n\r\n",
+             content-length: {}\r\n",
             self.host,
             body.len()
         );
+        for (name, value) in extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         let stream = self.reader.get_mut();
         stream.write_all(head.as_bytes())?;
         stream.write_all(body.as_bytes())?;

@@ -18,9 +18,6 @@ use std::time::{Duration, Instant};
 const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Hard cap on a request body, bytes.
 pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
-/// Total time a started request may dribble in before the connection is
-/// dropped.
-const REQUEST_IO_WINDOW: Duration = Duration::from_secs(10);
 /// How long a request already in flight may continue after a drain began.
 const DRAIN_GRACE: Duration = Duration::from_secs(2);
 
@@ -78,13 +75,23 @@ fn is_timeout(e: &std::io::Error) -> bool {
 /// of a new request has arrived it closes the connection cleanly; once a
 /// request has started it bounds the remaining patience to
 /// [`DRAIN_GRACE`].
+///
+/// `io_window` is the per-connection anti-slow-loris deadline: it starts
+/// the moment the first request byte arrives, and covers the rest of the
+/// request line, the headers, and the body. A connection may idle between
+/// requests indefinitely, but once a request has begun the client must
+/// deliver it whole within the window or lose the connection — a handler
+/// thread can no longer be pinned by a one-byte-per-poll drip feed.
 pub fn read_request(
     reader: &mut BufReader<TcpStream>,
     abort: &dyn Fn() -> bool,
+    io_window: Duration,
 ) -> Result<Received, RecvError> {
     let mut line = String::new();
     let mut drain_deadline: Option<Instant> = None;
-    // Request line: the only place a connection legitimately idles.
+    let mut head_deadline: Option<Instant> = None;
+    // Request line: the only place a connection legitimately idles — but
+    // only while it is still *empty*. The first byte starts the clock.
     loop {
         match reader.read_line(&mut line) {
             Ok(0) => {
@@ -106,6 +113,12 @@ pub fn read_request(
                         return Err(RecvError::Io(e));
                     }
                 }
+                if !line.is_empty() {
+                    let deadline = *head_deadline.get_or_insert_with(|| Instant::now() + io_window);
+                    if Instant::now() > deadline {
+                        return Err(RecvError::Io(e));
+                    }
+                }
                 if line.len() > MAX_HEAD_BYTES {
                     return Err(RecvError::TooLarge("request line"));
                 }
@@ -117,8 +130,9 @@ pub fn read_request(
 
     let (method, target) = parse_request_line(line.trim_end())?;
     // The request has started: everything else must arrive within the
-    // I/O window regardless of drain state.
-    let io_deadline = Instant::now() + REQUEST_IO_WINDOW;
+    // I/O window regardless of drain state. Reuse the clock the first
+    // dribbled byte may already have started.
+    let io_deadline = head_deadline.unwrap_or_else(|| Instant::now() + io_window);
 
     let mut headers = Vec::new();
     let mut head_bytes = line.len();
@@ -299,9 +313,12 @@ pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
+        401 => "Unauthorized",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -350,6 +367,82 @@ mod tests {
             text.ends_with("\r\n\r\n{\"error\":\"overloaded\"}"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn slow_loris_request_line_is_cut_off_at_the_io_window() {
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            // One byte, then silence: the classic slow-loris opener. The
+            // connection stays up until the server hangs up on us.
+            stream.write_all(b"G").expect("first byte");
+            let mut sink = [0u8; 16];
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+            let _ = stream.read(&mut sink);
+        });
+        let (stream, _) = listener.accept().expect("accept");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(25)))
+            .expect("read timeout");
+        let mut reader = BufReader::new(stream);
+        let io_window = Duration::from_millis(200);
+        let started = Instant::now();
+        let result = read_request(&mut reader, &|| false, io_window);
+        let elapsed = started.elapsed();
+        assert!(
+            matches!(result, Err(RecvError::Io(_))),
+            "a dribbled request must be cut off, got {result:?}"
+        );
+        assert!(
+            elapsed >= io_window,
+            "cut-off must not fire before the window ({elapsed:?})"
+        );
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "cut-off must be prompt, took {elapsed:?}"
+        );
+        drop(reader);
+        client.join().expect("client thread");
+    }
+
+    #[test]
+    fn idle_connection_outlives_the_io_window() {
+        use std::net::TcpListener;
+
+        // A keep-alive connection that has sent *nothing* is idle, not
+        // slow-loris: the window must not start until the first byte.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            std::thread::sleep(Duration::from_millis(400));
+            stream
+                .write_all(b"GET /healthz HTTP/1.1\r\n\r\n")
+                .expect("request");
+            let mut sink = [0u8; 16];
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+            let _ = stream.read(&mut sink);
+        });
+        let (stream, _) = listener.accept().expect("accept");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(25)))
+            .expect("read timeout");
+        let mut reader = BufReader::new(stream);
+        // Window far shorter than the client's idle pause.
+        let result = read_request(&mut reader, &|| false, Duration::from_millis(100));
+        match result {
+            Ok(Received::Request(req)) => {
+                assert_eq!(req.method, "GET");
+                assert_eq!(req.target, "/healthz");
+            }
+            other => panic!("idle-then-request must parse, got {other:?}"),
+        }
+        drop(reader);
+        client.join().expect("client thread");
     }
 
     #[test]

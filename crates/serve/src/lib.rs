@@ -33,17 +33,24 @@
 //! scores are byte-identical to offline [`incite_core::ScoringEngine`]
 //! output at any `--threads` value and under any request interleaving.
 
+pub mod admission;
+pub mod chaos;
 pub mod client;
 pub mod http;
+pub mod journal;
 pub mod metrics;
 pub mod queue;
+pub mod registry;
 pub mod server;
 pub mod signal;
 mod worker;
 
 pub use server::{DrainReport, Server, ServerHandle};
 
+use admission::{validate_quotas, TenantQuota};
+use incite_core::FailpointRegistry;
 use std::fmt;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Errors from booting or running the server.
@@ -58,6 +65,8 @@ pub enum ServeError {
     Pii(String),
     /// A configuration value is unusable.
     Config(String),
+    /// The boot model could not be loaded from its run directory.
+    Model(String),
 }
 
 impl fmt::Display for ServeError {
@@ -66,6 +75,7 @@ impl fmt::Display for ServeError {
             ServeError::Bind { addr, source } => write!(f, "cannot bind {addr}: {source}"),
             ServeError::Pii(detail) => write!(f, "PII extractor failed to build: {detail}"),
             ServeError::Config(detail) => write!(f, "invalid serve configuration: {detail}"),
+            ServeError::Model(detail) => write!(f, "cannot load serving model: {detail}"),
         }
     }
 }
@@ -88,6 +98,17 @@ pub struct ServeConfig {
     /// Per-request deadline: jobs older than this when a worker picks
     /// them up are expired with 504 instead of scored.
     pub deadline: Duration,
+    /// Tenant quotas for fair-share admission control. Empty (the
+    /// default) means open mode: everything is admitted as `default`.
+    pub tenants: Vec<TenantQuota>,
+    /// Request journal path; `None` (the default) disables journaling.
+    pub journal: Option<PathBuf>,
+    /// Per-connection I/O deadline: a request whose head or body is still
+    /// dribbling in past this window is cut off with 504 (anti-slow-loris).
+    pub io_window: Duration,
+    /// Chaos failpoints to arm at the serve sites; inert without the
+    /// `failpoints` cargo feature.
+    pub failpoints: FailpointRegistry,
 }
 
 impl Default for ServeConfig {
@@ -101,6 +122,10 @@ impl Default for ServeConfig {
             max_batch: 64,
             workers: 1,
             deadline: Duration::from_secs(10),
+            tenants: Vec::new(),
+            journal: None,
+            io_window: Duration::from_secs(10),
+            failpoints: FailpointRegistry::new(),
         }
     }
 }
@@ -120,6 +145,10 @@ impl ServeConfig {
         if self.deadline.is_zero() {
             return Err(ServeError::Config("deadline must be non-zero".into()));
         }
+        if self.io_window.is_zero() {
+            return Err(ServeError::Config("io_window must be non-zero".into()));
+        }
+        validate_quotas(&self.tenants).map_err(|detail| ServeError::Config(detail.to_string()))?;
         Ok(())
     }
 }

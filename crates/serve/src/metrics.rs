@@ -11,6 +11,7 @@
 //! `serve_latency` BENCH experiment measures exact client-side
 //! percentiles separately.
 
+use crate::admission::TenantCounters;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -70,6 +71,28 @@ impl LatencyHistogram {
     }
 }
 
+/// Point-in-time server state rendered alongside the counters. The
+/// server assembles one per scrape; nothing here is shared or atomic.
+#[derive(Debug, Default)]
+pub struct Gauges {
+    pub queue_depth: usize,
+    pub draining: bool,
+    /// Degraded mode: batch requests are being shed to protect liveness.
+    pub degraded: bool,
+    /// Active model generation (1 = boot model).
+    pub model_generation: u64,
+    /// Successful hot swaps over the server lifetime.
+    pub swaps_total: u64,
+    /// Refused or aborted swaps (load failure, injected fault).
+    pub swap_failures: u64,
+    /// Records durably appended to the request journal.
+    pub journal_records: u64,
+    /// Journal append failures (records dropped, scoring unaffected).
+    pub journal_errors: u64,
+    /// Per-tenant admission counters, declaration order.
+    pub tenants: Vec<TenantCounters>,
+}
+
 /// All service counters; shared behind one `Arc` by every thread.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -85,6 +108,8 @@ pub struct Metrics {
     pub deadline_expired: AtomicU64,
     /// Batches that failed in the scoring engine (500).
     pub worker_errors: AtomicU64,
+    /// Batch requests shed in degraded mode (503 before the queue).
+    pub shed_degraded: AtomicU64,
     /// Documents scored by the engine workers.
     pub documents_scored: AtomicU64,
     /// Micro-batches executed.
@@ -108,10 +133,11 @@ impl Metrics {
             .fetch_max(docs as u64, Ordering::Relaxed);
     }
 
-    /// Renders the text exposition; `queue_depth` and `draining` are
-    /// point-in-time gauges owned by the server.
-    pub fn render(&self, queue_depth: usize, draining: bool) -> String {
-        let mut s = String::with_capacity(1024);
+    /// Renders the text exposition; `gauges` carries the point-in-time
+    /// state owned by the server (queue, drain/degrade flags, model
+    /// registry, journal, per-tenant admission).
+    pub fn render(&self, gauges: &Gauges) -> String {
+        let mut s = String::with_capacity(2048);
         let counter = |s: &mut String, name: &str, v: u64| {
             let _ = writeln!(s, "incite_serve_{name} {v}");
         };
@@ -147,6 +173,11 @@ impl Metrics {
         );
         counter(
             &mut s,
+            "shed_degraded_total",
+            self.shed_degraded.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut s,
             "documents_scored_total",
             self.documents_scored.load(Ordering::Relaxed),
         );
@@ -160,8 +191,31 @@ impl Metrics {
             "batch_docs_max",
             self.max_batch_docs.load(Ordering::Relaxed),
         );
-        counter(&mut s, "queue_depth", queue_depth as u64);
-        counter(&mut s, "draining", u64::from(draining));
+        counter(&mut s, "queue_depth", gauges.queue_depth as u64);
+        counter(&mut s, "draining", u64::from(gauges.draining));
+        counter(&mut s, "degraded", u64::from(gauges.degraded));
+        counter(&mut s, "model_generation", gauges.model_generation);
+        counter(&mut s, "swaps_total", gauges.swaps_total);
+        counter(&mut s, "swap_failures_total", gauges.swap_failures);
+        counter(&mut s, "journal_records_total", gauges.journal_records);
+        counter(&mut s, "journal_errors_total", gauges.journal_errors);
+        for t in &gauges.tenants {
+            let _ = writeln!(
+                s,
+                "incite_serve_tenant_admitted_total{{tenant=\"{}\"}} {}",
+                t.name, t.admitted
+            );
+            let _ = writeln!(
+                s,
+                "incite_serve_tenant_rejected_total{{tenant=\"{}\"}} {}",
+                t.name, t.rejected
+            );
+            let _ = writeln!(
+                s,
+                "incite_serve_tenant_shed_total{{tenant=\"{}\"}} {}",
+                t.name, t.shed
+            );
+        }
         for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
             let _ = writeln!(
                 s,
@@ -217,17 +271,44 @@ mod tests {
         let m = Metrics::new();
         m.requests_total.fetch_add(3, Ordering::Relaxed);
         m.rejected_overload.fetch_add(1, Ordering::Relaxed);
+        m.shed_degraded.fetch_add(2, Ordering::Relaxed);
         m.observe_batch(5);
         m.latency.record(250);
-        let text = m.render(2, true);
+        let gauges = Gauges {
+            queue_depth: 2,
+            draining: true,
+            degraded: true,
+            model_generation: 4,
+            swaps_total: 3,
+            swap_failures: 1,
+            journal_records: 7,
+            journal_errors: 0,
+            tenants: vec![TenantCounters {
+                name: "alpha".to_string(),
+                admitted: 9,
+                rejected: 2,
+                shed: 1,
+            }],
+        };
+        let text = m.render(&gauges);
         for series in [
             "incite_serve_requests_total 3",
             "incite_serve_rejected_overload_total 1",
+            "incite_serve_shed_degraded_total 2",
             "incite_serve_documents_scored_total 5",
             "incite_serve_batches_total 1",
             "incite_serve_batch_docs_max 5",
             "incite_serve_queue_depth 2",
             "incite_serve_draining 1",
+            "incite_serve_degraded 1",
+            "incite_serve_model_generation 4",
+            "incite_serve_swaps_total 3",
+            "incite_serve_swap_failures_total 1",
+            "incite_serve_journal_records_total 7",
+            "incite_serve_journal_errors_total 0",
+            "incite_serve_tenant_admitted_total{tenant=\"alpha\"} 9",
+            "incite_serve_tenant_rejected_total{tenant=\"alpha\"} 2",
+            "incite_serve_tenant_shed_total{tenant=\"alpha\"} 1",
             "incite_serve_latency_seconds{quantile=\"0.99\"}",
             "incite_serve_latency_seconds_count 1",
         ] {

@@ -175,6 +175,35 @@ mod tests {
     }
 
     #[test]
+    fn close_wakes_waiters_promptly_not_at_timeout_expiry() {
+        use std::time::Instant;
+
+        // Several workers parked deep inside a 30s wait must all observe
+        // close() within moments — shutdown latency is bounded by the
+        // Condvar broadcast, not by the pop_batch timeout.
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let mut waiters = Vec::with_capacity(3);
+        for _ in 0..3 {
+            let q2 = Arc::clone(&q);
+            waiters.push(std::thread::spawn(move || {
+                let started = Instant::now();
+                let got = q2.pop_batch(4, Duration::from_secs(30));
+                (got, started.elapsed())
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        q.close();
+        for waiter in waiters {
+            let (got, waited) = waiter.join().expect("join");
+            assert!(matches!(got, PopBatch::Drained), "got {got:?}");
+            assert!(
+                waited < Duration::from_secs(5),
+                "waiter sat out {waited:?} of a 30s timeout after close"
+            );
+        }
+    }
+
+    #[test]
     fn close_wakes_blocked_workers() {
         let q = Arc::new(BoundedQueue::<u32>::new(4));
         let q2 = Arc::clone(&q);

@@ -22,16 +22,22 @@
 //!    exit — accepted work is never dropped;
 //! 5. [`ServerHandle::join`] collects every thread and reports totals.
 
+use crate::admission::{AdmissionControl, Admit};
+use crate::chaos::{self, ChaosRegistry};
 use crate::http::{self, Received, RecvError, Request, Response};
-use crate::metrics::Metrics;
+use crate::journal::{self, JournalStats};
+use crate::metrics::{Gauges, Metrics};
 use crate::queue::{BoundedQueue, PushError};
+use crate::registry::{ModelRegistry, SwapError};
 use crate::worker::{Reply, ScoreJob};
 use crate::{ServeConfig, ServeError};
+use incite_core::load_latest_classifier_with_hash;
 use incite_ml::TextClassifier;
 use incite_pii::{redact, PiiExtractor};
-use std::io::BufReader;
+use std::io::{BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, RecvTimeoutError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -52,20 +58,38 @@ const POLL: Duration = Duration::from_millis(25);
 /// begins before giving up on them (they hold no queued work by then).
 const CONNECTION_DRAIN_WINDOW: Duration = Duration::from_secs(15);
 
+/// Consecutive queue-full rejections before the server enters degraded
+/// mode (batch requests shed, single-doc scoring and health kept alive).
+/// One successful enqueue resets the strike counter and exits the mode.
+const DEGRADE_AFTER: u32 = 8;
+
 /// Shared server state; one `Arc` across all threads.
 pub struct ServerState {
-    pub(crate) classifier: TextClassifier,
+    pub(crate) registry: ModelRegistry,
+    pub(crate) admission: AdmissionControl,
+    pub(crate) chaos: ChaosRegistry,
+    pub(crate) journal_stats: Arc<JournalStats>,
     pub(crate) extractor: PiiExtractor,
     pub(crate) queue: BoundedQueue<ScoreJob>,
     pub(crate) metrics: Metrics,
     pub(crate) config: ServeConfig,
     draining: AtomicBool,
     open_connections: AtomicUsize,
+    /// Next journal sequence number to assign.
+    seq: AtomicU64,
+    /// Consecutive queue-full rejections (degraded-mode trigger).
+    full_strikes: AtomicU32,
 }
 
 impl ServerState {
     pub(crate) fn draining(&self) -> bool {
         self.draining.load(Ordering::Acquire)
+    }
+
+    /// Degraded mode: the queue has been saturated for [`DEGRADE_AFTER`]
+    /// consecutive enqueue attempts.
+    pub(crate) fn degraded(&self) -> bool {
+        self.full_strikes.load(Ordering::Acquire) >= DEGRADE_AFTER
     }
 }
 
@@ -92,8 +116,39 @@ impl Server {
     /// Binds `config.addr`, spawns the engine workers and the acceptor,
     /// and returns a handle. Fails without side effects: nothing is
     /// spawned unless the bind and the PII extractor both succeed.
+    ///
+    /// The classifier becomes model generation 1 with no provenance
+    /// (empty hash and run dir); use [`Server::start_from_run_dir`] when
+    /// the model comes from a checkpointed run directory so responses and
+    /// journal records carry a verifiable model hash.
     pub fn start(
         classifier: TextClassifier,
+        config: ServeConfig,
+    ) -> Result<ServerHandle, ServeError> {
+        Server::start_with_registry(
+            ModelRegistry::new(classifier, String::new(), String::new()),
+            config,
+        )
+    }
+
+    /// [`Server::start`], but the boot model is loaded (and its manifest
+    /// hash verified) from a checkpointed run directory — the registry
+    /// path `incite serve --run-dir` uses. Hot swaps via
+    /// `POST /v1/admin/swap` load later generations the same way.
+    pub fn start_from_run_dir(
+        run_dir: &Path,
+        config: ServeConfig,
+    ) -> Result<ServerHandle, ServeError> {
+        let (classifier, model_hash) = load_latest_classifier_with_hash(run_dir)
+            .map_err(|e| ServeError::Model(e.to_string()))?;
+        Server::start_with_registry(
+            ModelRegistry::new(classifier, model_hash, run_dir.display().to_string()),
+            config,
+        )
+    }
+
+    fn start_with_registry(
+        registry: ModelRegistry,
         config: ServeConfig,
     ) -> Result<ServerHandle, ServeError> {
         config.validate()?;
@@ -106,28 +161,54 @@ impl Server {
             addr: config.addr.clone(),
             source,
         })?;
+        let journal_stats = Arc::new(JournalStats::default());
+        // Open the journal before spawning anything: an unwritable path
+        // is a boot failure, not a silent runtime drop.
+        let journal_writer = match &config.journal {
+            None => None,
+            Some(path) => Some(
+                journal::spawn(path, Arc::clone(&journal_stats))
+                    .map_err(|e| ServeError::Config(format!("cannot open journal: {e}")))?,
+            ),
+        };
+        let admission = AdmissionControl::new(config.tenants.clone(), Instant::now());
+        let chaos = ChaosRegistry::from_registry(config.failpoints.clone());
         let state = Arc::new(ServerState {
-            classifier,
+            registry,
+            admission,
+            chaos,
+            journal_stats,
             extractor,
             queue: BoundedQueue::new(config.queue_depth),
             metrics: Metrics::new(),
             config,
             draining: AtomicBool::new(false),
             open_connections: AtomicUsize::new(0),
+            seq: AtomicU64::new(0),
+            full_strikes: AtomicU32::new(0),
         });
 
+        // Each worker carries its own journal-sender clone; the spawner's
+        // originals drop at the end of this scope, so the journal thread's
+        // channel disconnects exactly when the last worker exits.
+        let (journal_tx, journal_thread) = match journal_writer {
+            Some((tx, handle)) => (Some(tx), Some(handle)),
+            None => (None, None),
+        };
         let workers: Vec<JoinHandle<()>> = (0..state.config.workers)
             .map(|i| {
                 let state = Arc::clone(&state);
+                let journal_tx = journal_tx.clone();
                 std::thread::Builder::new()
                     .name(format!("incite-serve-worker-{i}"))
-                    .spawn(move || crate::worker::run(&state))
+                    .spawn(move || crate::worker::run(&state, journal_tx))
             })
             .collect::<Result<_, _>>()
             .map_err(|source| ServeError::Bind {
                 addr: addr.to_string(),
                 source,
             })?;
+        drop(journal_tx);
 
         // Pre-warm both serving paths before accepting traffic, so the
         // first real request never pays one-time costs (allocator pools,
@@ -135,11 +216,13 @@ impl Server {
         // discarded; scoring is pure, so warmup cannot perturb results.
         let warmup: Vec<&str> =
             vec!["warmup: report him and make him pay"; state.config.threads.max(1)];
+        let boot_model = state.registry.current();
         let _ = incite_core::ScoringEngine::score_texts(
-            &state.classifier,
+            &boot_model.classifier,
             &warmup,
             state.config.threads,
         );
+        drop(boot_model);
         let _ = redact(&state.extractor, "warmup: call 212-555-0101, mail a@b.com");
 
         let acceptor = {
@@ -158,6 +241,7 @@ impl Server {
             state,
             acceptor,
             workers,
+            journal_thread,
         })
     }
 }
@@ -168,6 +252,7 @@ pub struct ServerHandle {
     state: Arc<ServerState>,
     acceptor: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
+    journal_thread: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -207,6 +292,14 @@ impl ServerHandle {
         self.state.queue.close();
         for worker in self.workers {
             if worker.join().is_err() {
+                report.panicked_threads += 1;
+            }
+        }
+        // Workers are gone, so every journal sender has dropped: the
+        // journal thread drains its buffered records FIFO and exits. Only
+        // then is the journal complete on disk.
+        if let Some(journal) = self.journal_thread {
+            if journal.join().is_err() {
                 report.panicked_threads += 1;
             }
         }
@@ -268,7 +361,8 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let mut reader = BufReader::new(stream);
     loop {
-        let received = http::read_request(&mut reader, &|| state.draining());
+        let received =
+            http::read_request(&mut reader, &|| state.draining(), state.config.io_window);
         let started = Instant::now();
         let (response, fatal) = match received {
             Ok(Received::Request(req)) => {
@@ -292,6 +386,19 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
             .metrics
             .latency
             .record(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
+        // Chaos sites on the write path: a reset drops the connection
+        // with no response bytes; a short write emits a truncated prefix.
+        // Both hit exactly one response and the server keeps serving.
+        if state.chaos.trip(chaos::SOCKET_RESET) {
+            return;
+        }
+        if state.chaos.trip(chaos::SHORT_WRITE) {
+            let mut buf = Vec::new();
+            if response.write_to(&mut buf).is_ok() {
+                let _ = reader.get_mut().write_all(&buf[..buf.len() / 2]);
+            }
+            return;
+        }
         if response.write_to(reader.get_mut()).is_err() {
             return;
         }
@@ -317,6 +424,17 @@ struct ScoreResponse {
     /// contract with the offline engine, checkable over the wire.
     bits: Vec<u32>,
     count: usize,
+    /// Model generation every score in this response came from.
+    generation: u64,
+    /// That generation's verified model content hash (empty for
+    /// in-memory boot models).
+    model_hash: String,
+}
+
+/// `POST /v1/admin/swap` body.
+#[derive(serde::Deserialize)]
+struct SwapRequest {
+    run_dir: Option<String>,
 }
 
 #[derive(serde::Serialize)]
@@ -350,12 +468,23 @@ fn route(state: &Arc<ServerState>, req: &Request) -> Response {
                 Response::text(200, "ok\n")
             }
         }
-        ("GET", "/metrics") => Response::text(
-            200,
-            &state.metrics.render(state.queue.len(), state.draining()),
-        ),
+        ("GET", "/metrics") => {
+            let gauges = Gauges {
+                queue_depth: state.queue.len(),
+                draining: state.draining(),
+                degraded: state.degraded(),
+                model_generation: state.registry.generation(),
+                swaps_total: state.registry.swaps_total.load(Ordering::Relaxed),
+                swap_failures: state.registry.swap_failures.load(Ordering::Relaxed),
+                journal_records: state.journal_stats.records.load(Ordering::Relaxed),
+                journal_errors: state.journal_stats.errors.load(Ordering::Relaxed),
+                tenants: state.admission.snapshot(),
+            };
+            Response::text(200, &state.metrics.render(&gauges))
+        }
         ("POST", "/v1/score") => score(state, req),
         ("POST", "/v1/redact") => redact_endpoint(state, req),
+        ("POST", "/v1/admin/swap") => swap_endpoint(state, req),
         ("GET" | "POST", _) => Response::json(404, error_body("no such endpoint")),
         _ => Response::json(405, error_body("method not allowed")),
     }
@@ -405,21 +534,53 @@ fn score(state: &Arc<ServerState>, req: &Request) -> Response {
     if state.draining() {
         return Response::json(503, error_body("draining")).closing();
     }
+    // Admission first: an unauthenticated or over-quota tenant must not
+    // cost a parse of a multi-megabyte body.
+    let tenant = match state
+        .admission
+        .admit(req.header("x-api-key"), Instant::now())
+    {
+        Admit::Granted { tenant } => tenant,
+        Admit::RetryAfter { seconds, .. } => {
+            return Response::json(429, error_body("tenant quota exhausted, retry later"))
+                .with_header("retry-after", seconds.to_string());
+        }
+        Admit::UnknownKey => {
+            return Response::json(401, error_body("unknown or missing x-api-key"));
+        }
+    };
     let texts = match parse_docs(req) {
         Ok(texts) => texts,
         Err(response) => return response,
     };
+    // Degraded mode sheds batch work before it reaches the queue; the
+    // cheap single-doc path (and /healthz) stay alive so probes and
+    // latency-critical callers keep getting answers.
+    if texts.len() > 1 && state.degraded() {
+        state.metrics.shed_degraded.fetch_add(1, Ordering::Relaxed);
+        state.admission.record_shed(&tenant);
+        return Response::json(
+            503,
+            error_body("degraded: batch requests shed, retry later"),
+        )
+        .with_header("retry-after", "1".to_string());
+    }
     let deadline = state.config.deadline;
     let (reply_tx, reply_rx) = sync_channel(1);
     let job = ScoreJob {
         texts,
         enqueued: Instant::now(),
         deadline,
+        seq: state.seq.fetch_add(1, Ordering::Relaxed) + 1,
+        tenant,
         reply: reply_tx,
     };
     match state.queue.try_push(job) {
-        Ok(()) => {}
+        Ok(()) => {
+            state.full_strikes.store(0, Ordering::Release);
+        }
         Err(PushError::Full(_)) => {
+            state.full_strikes.fetch_add(1, Ordering::AcqRel);
             state
                 .metrics
                 .rejected_overload
@@ -435,13 +596,15 @@ fn score(state: &Arc<ServerState>, req: &Request) -> Response {
     // The worker enforces the deadline; the extra grace covers a batch
     // already being scored when the deadline hits.
     match reply_rx.recv_timeout(deadline + Duration::from_secs(5)) {
-        Ok(Reply::Scores(scores)) => {
+        Ok(Reply::Scores { scores, model }) => {
             let bits = scores.iter().map(|s| s.to_bits()).collect();
             let count = scores.len();
             json_or_500(serde_json::to_string(&ScoreResponse {
                 scores,
                 bits,
                 count,
+                generation: model.generation,
+                model_hash: model.model_hash.clone(),
             }))
         }
         Ok(Reply::Expired) => Response::json(504, error_body("deadline exceeded in queue")),
@@ -453,6 +616,37 @@ fn score(state: &Arc<ServerState>, req: &Request) -> Response {
                 .fetch_add(1, Ordering::Relaxed);
             Response::json(504, error_body("deadline exceeded"))
         }
+    }
+}
+
+/// `POST /v1/admin/swap {"run_dir": "..."}`: load, verify, and atomically
+/// activate a new model generation. Runs synchronously on the connection
+/// thread — the registry does all I/O outside its lock, so in-flight
+/// scoring is never stalled. Every response body is static text plus the
+/// new generation number: the requested path is request data and must not
+/// echo into responses (INC011).
+fn swap_endpoint(state: &Arc<ServerState>, req: &Request) -> Response {
+    if state.draining() {
+        return Response::json(503, error_body("draining")).closing();
+    }
+    let parsed: Result<SwapRequest, _> = match std::str::from_utf8(&req.body) {
+        Ok(body) => serde_json::from_str(body),
+        Err(_) => return Response::json(400, error_body("body is not UTF-8")),
+    };
+    let run_dir = match parsed {
+        Ok(SwapRequest { run_dir: Some(dir) }) if !dir.is_empty() => dir,
+        _ => {
+            return Response::json(400, error_body("body must be {\"run_dir\": \"...\"}"));
+        }
+    };
+    match state
+        .registry
+        .swap_from_run_dir(Path::new(&run_dir), &state.chaos)
+    {
+        Ok(generation) => Response::json(200, format!("{{\"generation\":{generation}}}")),
+        Err(e @ SwapError::InProgress) => Response::json(409, error_body(e.describe())),
+        Err(e @ SwapError::Load(_)) => Response::json(422, error_body(e.describe())),
+        Err(e @ SwapError::Injected) => Response::json(503, error_body(e.describe())),
     }
 }
 
@@ -491,6 +685,13 @@ mod tests {
     /// the 429 backpressure path with a zero-capacity queue) are testable
     /// without sockets.
     fn state(queue_depth: usize) -> Arc<ServerState> {
+        state_with_config(ServeConfig {
+            queue_depth,
+            ..ServeConfig::default()
+        })
+    }
+
+    fn state_with_config(config: ServeConfig) -> Arc<ServerState> {
         let classifier = TextClassifier::train(
             vec![("report him now", true), ("nice weather", false)],
             FeaturizerConfig::default(),
@@ -498,16 +699,18 @@ mod tests {
         );
         let extractor = PiiExtractor::try_new().expect("extractor");
         Arc::new(ServerState {
-            classifier,
+            registry: ModelRegistry::new(classifier, String::new(), String::new()),
+            admission: AdmissionControl::new(config.tenants.clone(), Instant::now()),
+            chaos: ChaosRegistry::from_registry(config.failpoints.clone()),
+            journal_stats: Arc::new(JournalStats::default()),
             extractor,
-            queue: BoundedQueue::new(queue_depth),
+            queue: BoundedQueue::new(config.queue_depth),
             metrics: Metrics::new(),
-            config: ServeConfig {
-                queue_depth,
-                ..ServeConfig::default()
-            },
+            config,
             draining: AtomicBool::new(false),
             open_connections: AtomicUsize::new(0),
+            seq: AtomicU64::new(0),
+            full_strikes: AtomicU32::new(0),
         })
     }
 
@@ -589,6 +792,132 @@ mod tests {
             route(&state, &request("DELETE", "/healthz", "")).status,
             405
         );
+    }
+
+    #[test]
+    fn swap_endpoint_validates_and_maps_errors_to_static_bodies() {
+        let state = state(4);
+        // Body validation failures never reach the registry.
+        for body in ["not json", "{}", "{\"run_dir\": \"\"}", "{\"run_dir\": 7}"] {
+            let resp = route(&state, &request("POST", "/v1/admin/swap", body));
+            assert_eq!(resp.status, 400, "body {body:?}");
+        }
+        // A missing run dir is a typed 422 whose body echoes nothing of
+        // the requested path.
+        let resp = route(
+            &state,
+            &request(
+                "POST",
+                "/v1/admin/swap",
+                "{\"run_dir\": \"/no/such/secret-dir\"}",
+            ),
+        );
+        assert_eq!(resp.status, 422);
+        let body = String::from_utf8(resp.body).expect("utf8");
+        assert!(!body.contains("secret-dir"), "path echoed: {body}");
+        assert_eq!(state.registry.generation(), 1, "failed swap keeps gen 1");
+        // Swapping while draining is refused outright.
+        state.draining.store(true, Ordering::Release);
+        let resp = route(
+            &state,
+            &request("POST", "/v1/admin/swap", "{\"run_dir\": \"/x\"}"),
+        );
+        assert_eq!(resp.status, 503);
+    }
+
+    #[test]
+    fn tenant_quota_gates_score_with_401_and_429() {
+        use crate::admission::TenantQuota;
+
+        let state = state_with_config(ServeConfig {
+            queue_depth: 4,
+            tenants: vec![TenantQuota {
+                name: "alpha".to_string(),
+                key: "alpha-key".to_string(),
+                capacity: 1,
+                refill_per_sec: 1,
+            }],
+            ..ServeConfig::default()
+        });
+        fn keyed(key: Option<&str>) -> Request {
+            let mut req = request("POST", "/v1/score", "{\"text\": \"x\"}");
+            if let Some(key) = key {
+                req.headers.push(("x-api-key".to_string(), key.to_string()));
+            }
+            req
+        }
+        // No key / wrong key → 401 before anything is queued.
+        assert_eq!(route(&state, &keyed(None)).status, 401);
+        assert_eq!(route(&state, &keyed(Some("wrong"))).status, 401);
+        assert_eq!(state.queue.len(), 0);
+        // Drain the capacity-1 bucket, then the routed request is a 429
+        // with a numeric retry-after — before parse, before the queue.
+        assert!(matches!(
+            state.admission.admit(Some("alpha-key"), Instant::now()),
+            Admit::Granted { .. }
+        ));
+        let rejected = route(&state, &keyed(Some("alpha-key")));
+        assert_eq!(rejected.status, 429);
+        assert!(
+            rejected
+                .extra_headers
+                .iter()
+                .any(|(k, v)| *k == "retry-after" && v.parse::<u64>().is_ok()),
+            "429 must carry a numeric retry-after: {:?}",
+            rejected.extra_headers
+        );
+        assert_eq!(state.queue.len(), 0, "rejected request never queued");
+        let snapshot = state.admission.snapshot();
+        assert_eq!(snapshot[0].name, "alpha");
+        assert_eq!(snapshot[0].admitted, 1);
+        assert_eq!(snapshot[0].rejected, 1);
+    }
+
+    #[test]
+    fn degraded_mode_sheds_batches_keeps_single_doc() {
+        // Zero capacity: every push is Full, so strikes accumulate.
+        let state = state(0);
+        for _ in 0..DEGRADE_AFTER {
+            let resp = route(&state, &request("POST", "/v1/score", "{\"text\": \"x\"}"));
+            assert_eq!(resp.status, 429);
+        }
+        assert!(state.degraded());
+        // Batch requests are shed with 503 *before* the queue...
+        let resp = route(
+            &state,
+            &request("POST", "/v1/score", "{\"texts\": [\"a\", \"b\"]}"),
+        );
+        assert_eq!(resp.status, 503);
+        assert_eq!(state.metrics.shed_degraded.load(Ordering::Relaxed), 1);
+        // ...single-doc scoring still reaches the queue (and 429s on the
+        // zero-capacity queue rather than being shed)...
+        let resp = route(&state, &request("POST", "/v1/score", "{\"text\": \"x\"}"));
+        assert_eq!(resp.status, 429);
+        // ...and /healthz stays green.
+        assert_eq!(route(&state, &request("GET", "/healthz", "")).status, 200);
+        let metrics = route(&state, &request("GET", "/metrics", ""));
+        let text = String::from_utf8(metrics.body).expect("utf8");
+        assert!(text.contains("incite_serve_degraded 1"), "{text}");
+        assert!(
+            text.contains("incite_serve_shed_degraded_total 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn metrics_expose_generation_and_admission_series() {
+        let state = state(4);
+        let metrics = route(&state, &request("GET", "/metrics", ""));
+        let text = String::from_utf8(metrics.body).expect("utf8");
+        for series in [
+            "incite_serve_model_generation 1",
+            "incite_serve_swaps_total 0",
+            "incite_serve_swap_failures_total 0",
+            "incite_serve_journal_records_total 0",
+            "incite_serve_tenant_admitted_total{tenant=\"default\"}",
+        ] {
+            assert!(text.contains(series), "missing {series:?} in:\n{text}");
+        }
     }
 
     #[test]

@@ -8,11 +8,23 @@
 //! writes slot `i` from text `i` alone, so per-text scores are
 //! bit-identical to `classifier.score(text)` no matter how requests are
 //! batched or how many threads score them.
+//!
+//! **Generation discipline:** each batch snapshots the model registry
+//! exactly once and scores every text in the batch against that snapshot.
+//! A hot swap that lands mid-batch affects only *later* batches, so a
+//! response can never mix generations, and the generation tag it carries
+//! is exact. The snapshot (with its verified model hash) also stamps the
+//! journal record, which is what lets `incite replay` re-score against
+//! the right weights.
 
+use crate::chaos;
+use crate::journal::JournalRecord;
 use crate::queue::PopBatch;
+use crate::registry::ModelGeneration;
 use crate::server::ServerState;
 use incite_core::ScoringEngine;
-use std::sync::mpsc::SyncSender;
+use std::sync::mpsc::{Sender, SyncSender};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One `/v1/score` request in the queue.
@@ -23,14 +35,22 @@ pub(crate) struct ScoreJob {
     pub enqueued: Instant,
     /// The per-request deadline.
     pub deadline: Duration,
+    /// Server-assigned sequence number (journal identity).
+    pub seq: u64,
+    /// Tenant the request was admitted under.
+    pub tenant: String,
     /// Rendezvous back to the connection handler (capacity 1).
     pub reply: SyncSender<Reply>,
 }
 
 /// What the engine sends back for a job.
 pub(crate) enum Reply {
-    /// One score per input text, in order.
-    Scores(Vec<f32>),
+    /// One score per input text, in order, plus the generation snapshot
+    /// every text was scored against.
+    Scores {
+        scores: Vec<f32>,
+        model: Arc<ModelGeneration>,
+    },
     /// The job sat in the queue past its deadline; it was not scored.
     Expired,
     /// The scoring pass failed (a worker panic surfaced as an error).
@@ -41,17 +61,21 @@ pub(crate) enum Reply {
 const POLL: Duration = Duration::from_millis(50);
 
 /// The worker loop: runs until the queue is closed and drained.
-pub(crate) fn run(state: &ServerState) {
+///
+/// `journal` is this worker's own sender clone; it drops when the worker
+/// exits, and once every worker (and the spawner) has dropped theirs the
+/// journal thread drains and shuts down.
+pub(crate) fn run(state: &ServerState, journal: Option<Sender<JournalRecord>>) {
     loop {
         match state.queue.pop_batch(state.config.max_batch, POLL) {
             PopBatch::Idle => continue,
             PopBatch::Drained => break,
-            PopBatch::Items(jobs) => score_batch(state, jobs),
+            PopBatch::Items(jobs) => score_batch(state, jobs, journal.as_ref()),
         }
     }
 }
 
-fn score_batch(state: &ServerState, jobs: Vec<ScoreJob>) {
+fn score_batch(state: &ServerState, jobs: Vec<ScoreJob>, journal: Option<&Sender<JournalRecord>>) {
     use std::sync::atomic::Ordering;
 
     // Deadline triage before paying for featurization: a job that sat in
@@ -72,22 +96,52 @@ fn score_batch(state: &ServerState, jobs: Vec<ScoreJob>) {
         return;
     }
 
+    if state.chaos.trip(chaos::WORKER_FAULT) {
+        // The injected equivalent of an engine panic: the batch fails
+        // typed (500), nothing is scored or journaled, and the worker
+        // loop survives to serve the next batch.
+        state.metrics.worker_errors.fetch_add(1, Ordering::Relaxed);
+        for job in live {
+            let _ = job
+                .reply
+                .try_send(Reply::Failed("injected worker fault".to_string()));
+        }
+        return;
+    }
+
+    // One registry snapshot for the whole batch: every text below scores
+    // against these weights, whatever a concurrent swap does.
+    let model = state.registry.current();
+
     let texts: Vec<&str> = live
         .iter()
         .flat_map(|job| job.texts.iter().map(String::as_str))
         .collect();
     state.metrics.observe_batch(texts.len());
 
-    match ScoringEngine::score_texts(&state.classifier, &texts, state.config.threads) {
+    match ScoringEngine::score_texts(&model.classifier, &texts, state.config.threads) {
         Ok(scores) => {
             let mut cursor = 0;
             for job in live {
                 let end = cursor + job.texts.len();
+                let job_scores = &scores[cursor..end];
                 // A handler that gave up waiting has dropped its receiver;
                 // ignore the send failure and move on.
-                let _ = job
-                    .reply
-                    .try_send(Reply::Scores(scores[cursor..end].to_vec()));
+                let _ = job.reply.try_send(Reply::Scores {
+                    scores: job_scores.to_vec(),
+                    model: Arc::clone(&model),
+                });
+                if let Some(journal) = journal {
+                    let _ = journal.send(JournalRecord {
+                        seq: job.seq,
+                        generation: model.generation,
+                        model_hash: model.model_hash.clone(),
+                        run_dir: model.run_dir.clone(),
+                        tenant: job.tenant,
+                        texts: job.texts,
+                        bits: job_scores.iter().map(|s| s.to_bits()).collect(),
+                    });
+                }
                 cursor = end;
             }
         }
