@@ -69,6 +69,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "Hot model swap under serve load (BENCH line)",
     ),
     (
+        "stream_throughput",
+        "incite watch event loop: simulate + rank (BENCH line)",
+    ),
+    (
         "extension_attack_types",
         "\u{a7}9.2 extension: per-attack-type classifiers",
     ),
@@ -110,6 +114,7 @@ pub fn run_experiment(id: &str, ctx: &mut ReproContext) -> Option<String> {
         "serve_latency" => crate::serve_latency::run(ctx),
         "featurize_throughput" => crate::featurize_throughput::run(ctx),
         "swap_availability" => crate::swap_availability::run(ctx),
+        "stream_throughput" => crate::stream_throughput::run(ctx),
         "extension_attack_types" => extension_attack_types(ctx),
         "extension_longitudinal" => extension_longitudinal(ctx),
         _ => return None,

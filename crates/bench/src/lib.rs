@@ -15,6 +15,7 @@ pub mod context;
 pub mod experiments;
 pub mod featurize_throughput;
 pub mod serve_latency;
+pub mod stream_throughput;
 pub mod swap_availability;
 pub mod throughput;
 

@@ -23,6 +23,7 @@ use incite_pii::{infer_gender, redact, PiiExtractor};
 use incite_serve::admission::TenantQuota;
 use incite_serve::journal::read_journal;
 use incite_serve::{ServeConfig, Server};
+use incite_stream::{run_watch, simulate, EventStream, SimConfig, WatchConfig};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::{Path, PathBuf};
@@ -86,6 +87,19 @@ commands:
           journaled response bit-for-bit against the checkpointed model;
           exits nonzero on any mismatch. --run-dir overrides the
           journaled run directory (for relocated checkpoints).
+  events  --corpus FILE.jsonl --out EVENTS.jsonl [--seed N]
+          [--max-events N]
+          simulate a deterministic amplification-event stream (post /
+          quote-repost / follower-edge) over the corpus' personas; the
+          same seed and corpus always produce a byte-identical stream
+  watch   --corpus FILE.jsonl --events EVENTS.jsonl --run-dir DIR
+          [--state DIR] [--threads N] [--epoch-len N] [--top-k K]
+          [--max-epochs N]
+          consume the event stream with the classifier checkpointed in
+          run directory DIR, maintaining ranked per-target threat lists
+          on the toxicity x topic-overlap plane. --state checkpoints
+          ranker state every epoch and resumes from it; rankings are
+          byte-identical at any --threads and across kill/resume.
   score   --model MODEL.json [--input FILE] [--threshold T]
           score one text per input line; prints `score<TAB>text`
   pii     [--input FILE]
@@ -505,6 +519,113 @@ pub fn run(command: &str, args: &[String], out: &mut dyn Write) -> Result<(), Cl
             }
             Ok(())
         }
+        "events" => {
+            let corpus_path = flags
+                .get("corpus")
+                .ok_or_else(|| err("events requires --corpus"))?;
+            let out_path = flags
+                .get("out")
+                .ok_or_else(|| err("events requires --out"))?;
+            let seed: u64 = flags
+                .get("seed")
+                .map(|s| s.parse().map_err(|_| err("--seed takes a number")))
+                .transpose()?
+                .unwrap_or(7);
+            let max_events: usize = flags
+                .get("max-events")
+                .map(|s| s.parse().map_err(|_| err("--max-events takes a number")))
+                .transpose()?
+                .unwrap_or(0);
+
+            let docs = load_corpus_lines(corpus_path, out)?;
+            let corpus = Corpus {
+                documents: docs,
+                config: CorpusConfig::default(),
+            };
+            let stream = simulate(
+                &corpus,
+                &SimConfig {
+                    seed,
+                    max_events,
+                    ..SimConfig::default()
+                },
+            );
+            let bytes = stream.encode().map_err(|e| err(e.to_string()))?;
+            // Event streams ride the same atomic write-rename funnel as
+            // every other artifact: no torn stream files.
+            write_atomic(Path::new(out_path), &bytes)
+                .map_err(|e| err(format!("write {out_path}: {e}")))?;
+            writeln!(
+                out,
+                "simulated {} event(s) over {} actor(s), digest {} -> {out_path}",
+                stream.events.len(),
+                stream.actors.len(),
+                stream.digest()
+            )
+            .map_err(|e| err(e.to_string()))?;
+            Ok(())
+        }
+        "watch" => {
+            let corpus_path = flags
+                .get("corpus")
+                .ok_or_else(|| err("watch requires --corpus"))?;
+            let events_path = flags
+                .get("events")
+                .ok_or_else(|| err("watch requires --events"))?;
+            let run_dir = flags
+                .get("run-dir")
+                .ok_or_else(|| err("watch requires --run-dir (a checkpointed run directory)"))?;
+            let parse_usize = |key: &str| -> Result<Option<usize>, CliError> {
+                flags
+                    .get(key)
+                    .map(|s| {
+                        s.parse()
+                            .map_err(|_| err(format!("--{key} takes a number")))
+                    })
+                    .transpose()
+            };
+
+            let docs = load_corpus_lines(corpus_path, out)?;
+            let bytes =
+                std::fs::read(events_path).map_err(|e| err(format!("open {events_path}: {e}")))?;
+            let stream = EventStream::decode(&bytes)
+                .map_err(|e| err(format!("parse {events_path}: {e}")))?;
+            let doc_texts: BTreeMap<u64, &str> =
+                docs.iter().map(|d| (d.id.0, d.text.as_str())).collect();
+            let (classifier, model_hash) = load_latest_classifier_with_hash(Path::new(run_dir))
+                .map_err(|e| err(e.to_string()))?;
+
+            let mut config = WatchConfig::default();
+            if let Some(n) = parse_usize("threads")? {
+                config.ranker.threads = n;
+            }
+            if let Some(n) = parse_usize("epoch-len")? {
+                config.ranker.epoch_len = n.max(1);
+            }
+            if let Some(k) = parse_usize("top-k")? {
+                config.ranker.top_k = k.max(1);
+            }
+            if let Some(n) = parse_usize("max-epochs")? {
+                config.max_epochs = Some(n as u64);
+            }
+            config.state_dir = flags.get("state").map(PathBuf::from);
+
+            let outcome = run_watch(&stream, &doc_texts, &classifier, &config)
+                .map_err(|e| err(e.to_string()))?;
+            if let Some(at) = outcome.resumed_at {
+                writeln!(out, "resumed from checkpointed state at event {at}")
+                    .map_err(|e| err(e.to_string()))?;
+            }
+            writeln!(
+                out,
+                "watch complete: {} event(s) in {} epoch(s), model {model_hash}",
+                outcome.events, outcome.epochs
+            )
+            .map_err(|e| err(e.to_string()))?;
+            out.write_all(outcome.rankings.as_bytes())
+                .map_err(|e| err(e.to_string()))?;
+            Ok(())
+        }
         "score" => {
             let model_path = flags
                 .get("model")
@@ -739,6 +860,117 @@ mod tests {
         assert!(text.contains("discarded existing checkpoints"), "{text}");
         assert!(text.contains("starting fresh run"), "{text}");
         assert_eq!(digest_line(&text)?, first_digest);
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn events_then_watch_end_to_end() -> TestResult {
+        let dir = std::env::temp_dir().join(format!("incite-cli-watch-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir)?;
+        let corpus_path = dir.join("corpus.jsonl");
+        let run_dir = dir.join("run");
+
+        let corpus = generate(&CorpusConfig::tiny(404));
+        let f = std::fs::File::create(&corpus_path)?;
+        jsonl::write_jsonl(f, &corpus.documents)?;
+        run_pipeline_resumable(&corpus, Task::Cth, &PipelineConfig::quick(3), &run_dir)
+            .map_err(|e| err(e.to_string()))?;
+
+        // Simulation is deterministic: same seed, byte-identical stream.
+        let events_path = dir.join("events.jsonl");
+        let events_path2 = dir.join("events2.jsonl");
+        for path in [&events_path, &events_path2] {
+            let mut out = Vec::new();
+            run(
+                "events",
+                &flags(&[
+                    ("corpus", path_str(&corpus_path)?),
+                    ("out", path_str(path)?),
+                    ("seed", "7"),
+                ]),
+                &mut out,
+            )?;
+            assert!(String::from_utf8(out)?.contains("simulated"), "no summary");
+        }
+        assert_eq!(
+            std::fs::read(&events_path)?,
+            std::fs::read(&events_path2)?,
+            "same seed must produce a byte-identical stream file"
+        );
+
+        // One uninterrupted watch.
+        let watch_flags = |extra: &[(&str, &str)]| -> Result<Vec<String>, CliError> {
+            let mut all = vec![
+                ("corpus".to_string(), path_str(&corpus_path)?.to_string()),
+                ("events".to_string(), path_str(&events_path)?.to_string()),
+                ("run-dir".to_string(), path_str(&run_dir)?.to_string()),
+            ];
+            all.extend(extra.iter().map(|(k, v)| (k.to_string(), v.to_string())));
+            Ok(all
+                .into_iter()
+                .flat_map(|(k, v)| [format!("--{k}"), v])
+                .collect())
+        };
+        let rankings_of = |text: &str| -> Result<String, CliError> {
+            let at = text
+                .find("threat rankings:")
+                .ok_or_else(|| err("no rankings section"))?;
+            Ok(text[at..].to_string())
+        };
+        let mut out = Vec::new();
+        run("watch", &watch_flags(&[("threads", "2")])?, &mut out)?;
+        let text = String::from_utf8(out)?;
+        assert!(text.contains("watch complete"), "{text}");
+        assert!(text.contains("\ntarget "), "no ranked targets:\n{text}");
+        let reference = rankings_of(&text)?;
+
+        // Split run: a few checkpointed epochs, then resume to the end —
+        // byte-identical rankings.
+        let state_dir = dir.join("state");
+        let state = path_str(&state_dir)?.to_string();
+        let mut out = Vec::new();
+        run(
+            "watch",
+            &watch_flags(&[("state", &state), ("max-epochs", "3")])?,
+            &mut out,
+        )?;
+        let mut out = Vec::new();
+        run("watch", &watch_flags(&[("state", &state)])?, &mut out)?;
+        let text = String::from_utf8(out)?;
+        assert!(text.contains("resumed from checkpointed state"), "{text}");
+        assert_eq!(rankings_of(&text)?, reference);
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn events_and_watch_refuse_bad_inputs() -> TestResult {
+        let mut out = Vec::new();
+        assert!(run("events", &[], &mut out).is_err());
+        assert!(run("watch", &[], &mut out).is_err());
+
+        // A corpus file is not an event stream: typed refusal at decode.
+        let dir = std::env::temp_dir().join(format!("incite-cli-badev-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir)?;
+        let corpus_path = dir.join("corpus.jsonl");
+        let corpus = generate(&CorpusConfig::tiny(11));
+        let f = std::fs::File::create(&corpus_path)?;
+        jsonl::write_jsonl(f, &corpus.documents)?;
+        let Err(e) = run(
+            "watch",
+            &flags(&[
+                ("corpus", path_str(&corpus_path)?),
+                ("events", path_str(&corpus_path)?),
+                ("run-dir", "/nonexistent"),
+            ]),
+            &mut out,
+        ) else {
+            return Err(err("watch on a non-stream file unexpectedly succeeded"));
+        };
+        assert!(e.0.contains("parse"), "{e}");
         std::fs::remove_dir_all(&dir).ok();
         Ok(())
     }

@@ -12,6 +12,7 @@
 //! coverage bias.
 
 use crate::document::Document;
+use crate::error::CorpusError;
 use crate::generator::Corpus;
 use incite_taxonomy::Platform;
 use rand::rngs::StdRng;
@@ -64,11 +65,14 @@ impl CrawlStats {
 }
 
 /// Simulates the crawl over a corpus: returns the observed documents (in
-/// original order) and per-platform coverage statistics.
+/// original order) and per-platform coverage statistics. A document whose
+/// platform is missing from the stats table (a malformed platform list)
+/// is a typed refusal, not a panic.
+#[allow(clippy::type_complexity)]
 pub fn simulate_crawl<'c>(
     corpus: &'c Corpus,
     config: &CrawlConfig,
-) -> (Vec<&'c Document>, Vec<(Platform, CrawlStats)>) {
+) -> Result<(Vec<&'c Document>, Vec<(Platform, CrawlStats)>), CorpusError> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut stats: Vec<(Platform, CrawlStats)> = Platform::ALL
         .iter()
@@ -80,7 +84,9 @@ pub fn simulate_crawl<'c>(
         let entry = &mut stats
             .iter_mut()
             .find(|(p, _)| *p == doc.platform)
-            .expect("platform present")
+            .ok_or(CorpusError::PlatformMissing {
+                platform: doc.platform,
+            })?
             .1;
         entry.total += 1;
         let collected = if doc.timestamp >= config.crawl_start {
@@ -101,7 +107,20 @@ pub fn simulate_crawl<'c>(
             entry.missed_old += 1;
         }
     }
-    (observed, stats)
+    Ok((observed, stats))
+}
+
+/// Coverage for one platform out of a stats table; a platform absent from
+/// the table is the same typed refusal as in [`simulate_crawl`].
+pub fn coverage_for(
+    stats: &[(Platform, CrawlStats)],
+    platform: Platform,
+) -> Result<f64, CorpusError> {
+    stats
+        .iter()
+        .find(|(p, _)| *p == platform)
+        .map(|(_, s)| s.coverage())
+        .ok_or(CorpusError::PlatformMissing { platform })
 }
 
 #[cfg(test)]
@@ -110,19 +129,21 @@ mod tests {
     use crate::config::CorpusConfig;
     use crate::generator::generate;
 
+    type TestResult = Result<(), CorpusError>;
+
     fn corpus() -> Corpus {
         generate(&CorpusConfig::small(0xc4a31))
     }
 
     #[test]
-    fn live_feed_documents_are_always_collected() {
+    fn live_feed_documents_are_always_collected() -> TestResult {
         let corpus = corpus();
         let config = CrawlConfig {
             paste_backfill: 0.0,
             board_backfill: 0.0,
             ..Default::default()
         };
-        let (observed, _) = simulate_crawl(&corpus, &config);
+        let (observed, _) = simulate_crawl(&corpus, &config)?;
         for d in &observed {
             if d.platform == Platform::Pastes || d.platform == Platform::Boards {
                 assert!(d.timestamp >= config.crawl_start);
@@ -138,30 +159,45 @@ mod tests {
             })
             .count();
         assert_eq!(observed.len(), expected);
+        Ok(())
     }
 
     #[test]
-    fn paste_coverage_is_worst() {
+    fn paste_coverage_is_worst() -> TestResult {
         // §4: paste history is the hardest to recover.
         let corpus = corpus();
-        let (_, stats) = simulate_crawl(&corpus, &CrawlConfig::default());
-        let get = |p: Platform| stats.iter().find(|(q, _)| *q == p).unwrap().1.coverage();
+        let (_, stats) = simulate_crawl(&corpus, &CrawlConfig::default())?;
+        let get = |p: Platform| coverage_for(&stats, p);
         assert!(
-            get(Platform::Pastes) < get(Platform::Boards),
+            get(Platform::Pastes)? < get(Platform::Boards)?,
             "pastes should trail boards"
         );
-        assert!(get(Platform::Boards) < 1.0);
-        assert!((get(Platform::Gab) - 1.0).abs() < 1e-12);
+        assert!(get(Platform::Boards)? < 1.0);
+        assert!((get(Platform::Gab)? - 1.0).abs() < 1e-12);
         assert!(
-            get(Platform::Pastes) > 0.3,
+            get(Platform::Pastes)? > 0.3,
             "backfill still recovers something"
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn coverage_for_missing_platform_is_typed() {
+        // A truncated stats table refuses with the platform's identity.
+        let stats = vec![(Platform::Gab, CrawlStats::default())];
+        let err = coverage_for(&stats, Platform::Pastes);
+        assert_eq!(
+            err,
+            Err(CorpusError::PlatformMissing {
+                platform: Platform::Pastes
+            })
         );
     }
 
     #[test]
-    fn stats_are_consistent() {
+    fn stats_are_consistent() -> TestResult {
         let corpus = corpus();
-        let (observed, stats) = simulate_crawl(&corpus, &CrawlConfig::default());
+        let (observed, stats) = simulate_crawl(&corpus, &CrawlConfig::default())?;
         let total: usize = stats.iter().map(|(_, s)| s.total).sum();
         let collected: usize = stats.iter().map(|(_, s)| s.collected).sum();
         assert_eq!(total, corpus.len());
@@ -169,14 +205,16 @@ mod tests {
         for (_, s) in &stats {
             assert_eq!(s.total, s.collected + s.missed_old);
         }
+        Ok(())
     }
 
     #[test]
-    fn crawl_is_seed_deterministic() {
+    fn crawl_is_seed_deterministic() -> TestResult {
         let corpus = corpus();
-        let (a, _) = simulate_crawl(&corpus, &CrawlConfig::default());
-        let (b, _) = simulate_crawl(&corpus, &CrawlConfig::default());
+        let (a, _) = simulate_crawl(&corpus, &CrawlConfig::default())?;
+        let (b, _) = simulate_crawl(&corpus, &CrawlConfig::default())?;
         assert_eq!(a.len(), b.len());
         assert!(a.iter().zip(&b).all(|(x, y)| x.id == y.id));
+        Ok(())
     }
 }

@@ -1,0 +1,48 @@
+//! Typed corpus errors.
+//!
+//! The corpus crate's lookups over per-platform tables used to panic on a
+//! malformed table (`.expect("platform present")`); a crawler simulation
+//! fed a corrupt platform list should refuse with a typed error instead,
+//! keeping the panic-free contract honest for every caller. Variants carry
+//! identifiers only — never document text (INC013).
+
+use incite_taxonomy::Platform;
+
+/// A structural error in corpus data or its derived tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorpusError {
+    /// A document names a platform missing from a per-platform table.
+    PlatformMissing { platform: Platform },
+    /// A document that must carry a thread reference does not.
+    ThreadMissing { doc_id: u64 },
+}
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusError::PlatformMissing { platform } => {
+                write!(f, "platform `{}` missing from platform table", platform)
+            }
+            CorpusError::ThreadMissing { doc_id } => {
+                write!(f, "document {doc_id} carries no thread reference")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_identifiers_only() {
+        let e = CorpusError::PlatformMissing {
+            platform: Platform::Gab,
+        };
+        assert!(e.to_string().contains("missing from platform table"));
+        let e = CorpusError::ThreadMissing { doc_id: 7 };
+        assert!(e.to_string().contains("document 7"));
+    }
+}

@@ -55,18 +55,22 @@ impl Corpus {
             .filter(move |d| d.platform.data_set() == ds)
     }
 
-    /// Board threads: thread id → posts ordered by position.
+    /// Board threads: thread id → posts ordered by position. Documents
+    /// without a thread reference (none on boards today, but imported
+    /// corpora make no such promise) are skipped rather than unwrapped.
     pub fn threads(&self) -> HashMap<u64, Vec<&Document>> {
-        let mut map: HashMap<u64, Vec<&Document>> = HashMap::new();
+        let mut map: HashMap<u64, Vec<(u32, &Document)>> = HashMap::new();
         for doc in self.by_platform(Platform::Boards) {
             if let Some(t) = doc.thread {
-                map.entry(t.thread_id).or_default().push(doc);
+                map.entry(t.thread_id).or_default().push((t.position, doc));
             }
         }
-        for posts in map.values_mut() {
-            posts.sort_by_key(|d| d.thread.unwrap().position);
-        }
-        map
+        map.into_iter()
+            .map(|(id, mut posts)| {
+                posts.sort_by_key(|(position, _)| *position);
+                (id, posts.into_iter().map(|(_, d)| d).collect())
+            })
+            .collect()
     }
 
     /// Ground-truth positives for a task.
@@ -781,10 +785,15 @@ mod tests {
     fn threads_are_complete_and_ordered() {
         let c = tiny();
         for (_, posts) in c.threads() {
-            let len = posts[0].thread.unwrap().thread_len;
+            // Every returned post carries a thread ref (filter_map drops
+            // none), the first announces the full length, and positions
+            // run 0..len in order — all without unwrapping.
+            let refs: Vec<ThreadRef> = posts.iter().filter_map(|p| p.thread).collect();
+            assert_eq!(refs.len(), posts.len(), "thread-less post in a thread");
+            let len = refs.first().map(|t| t.thread_len).unwrap_or(0);
             assert_eq!(posts.len() as u32, len);
-            for (i, p) in posts.iter().enumerate() {
-                assert_eq!(p.thread.unwrap().position, i as u32);
+            for (i, t) in refs.iter().enumerate() {
+                assert_eq!(t.position, i as u32);
             }
         }
     }

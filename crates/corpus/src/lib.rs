@@ -20,6 +20,7 @@
 //!
 //! Modules:
 //! * [`document`] — the document model and planted ground truth.
+//! * [`error`] — typed structural errors ([`CorpusError`]).
 //! * [`config`] — generation parameters.
 //! * [`pii_gen`] — synthetic-PII factory.
 //! * [`textgen`] — benign platform chatter.
@@ -35,6 +36,7 @@ pub mod crawl;
 pub mod cth_gen;
 pub mod document;
 pub mod dox_gen;
+pub mod error;
 pub mod generator;
 pub mod jsonl;
 pub mod labels;
@@ -46,6 +48,7 @@ pub mod textgen;
 
 pub use config::CorpusConfig;
 pub use document::{DocId, Document, GroundTruth, ThreadRef};
+pub use error::CorpusError;
 pub use generator::{generate, Corpus};
 pub use jsonl::{
     read_jsonl, read_jsonl_quarantine, redact_excerpt, write_jsonl, JsonlError, QuarantineStats,

@@ -81,10 +81,11 @@ pub const CATALOG: &[RuleInfo] = &[
     RuleInfo {
         id: "INC001",
         summary: "no unwrap()/expect()/panic!/todo! in library code of \
-                  core, ml, pii, regexlite, stats, cli (tests and benches exempt)",
-        contract: "Library code in core, ml, pii, regexlite, stats, cli and \
-                   serve never aborts the process: every fallible operation \
-                   returns a typed error the caller can handle.",
+                  core, ml, pii, regexlite, stats, cli, serve, stream \
+                  (tests and benches exempt)",
+        contract: "Library code in core, ml, pii, regexlite, stats, cli, \
+                   serve and stream never aborts the process: every fallible \
+                   operation returns a typed error the caller can handle.",
         example: "let doc = serde_json::from_str(line).unwrap();",
         fix: "Propagate with `?` into the crate's typed error enum, or handle \
               the failure locally (skip / quarantine / default).",
@@ -247,7 +248,16 @@ pub const CATALOG: &[RuleInfo] = &[
 ];
 
 /// Crates whose library code must be panic-free (INC001).
-const PANIC_FREE_CRATES: &[&str] = &["core", "ml", "pii", "regexlite", "stats", "cli", "serve"];
+const PANIC_FREE_CRATES: &[&str] = &[
+    "core",
+    "ml",
+    "pii",
+    "regexlite",
+    "stats",
+    "cli",
+    "serve",
+    "stream",
+];
 
 /// Crates whose library code INC003 (float equality) applies to.
 const FLOAT_EQ_CRATES: &[&str] = &["stats", "ml"];

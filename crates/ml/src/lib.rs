@@ -12,6 +12,9 @@
 //! * [`featurize`] — the document → features pipeline: normalization, span
 //!   sampling (§5.2), tokenization, optional WordPiece subwords, n-grams and
 //!   feature hashing.
+//! * [`fingerprint`] — fixed-width topic fingerprints folded from hashed
+//!   n-gram features; the topic-overlap axis of the streaming threat
+//!   ranker.
 //! * [`logreg`] — L2-regularized logistic regression trained with AdaGrad
 //!   SGD; outputs calibrated probabilities in `[0, 1]`, which is what the
 //!   threshold-selection procedure of §5.5 consumes.
@@ -24,6 +27,7 @@
 pub mod batch;
 pub mod data;
 pub mod featurize;
+pub mod fingerprint;
 pub mod grid;
 pub mod logreg;
 pub mod model;
@@ -34,6 +38,7 @@ pub mod sparse;
 pub use batch::{FeatureCache, FeatureMatrix};
 pub use data::{kfold, train_test_split, Dataset, Example};
 pub use featurize::{FeatureMode, Featurizer, FeaturizerConfig};
+pub use fingerprint::{TopicFingerprint, FINGERPRINT_DIM};
 pub use grid::{grid_search, GridPoint, GridResult};
 pub use logreg::{LogisticRegression, TrainConfig};
 pub use model::TextClassifier;

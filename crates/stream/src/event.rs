@@ -1,0 +1,326 @@
+//! The amplification-event model and its JSONL codec.
+//!
+//! A stream is a time-ordered sequence of three event kinds over the
+//! corpus' platform/persona model:
+//!
+//! * **Post** — an actor publishes a document (optionally naming a target
+//!   persona, the way platform metadata exposes an @-mention).
+//! * **Amplify** — an actor quotes/reposts an earlier document, exposing
+//!   it to their followers.
+//! * **Follow** — a follower edge appears in the social graph.
+//!
+//! Events serialize one per JSONL line behind a header record naming the
+//! actor table, using flat primitive records (the vendored serde supports
+//! structs and fieldless enums only). The in-memory model is typed; the
+//! codec converts at the boundary and refuses malformed lines with line
+//! numbers, never line content (INC013).
+
+use crate::StreamError;
+use incite_corpus::DocId;
+use incite_textkit::fnv1a;
+use serde::{Deserialize, Serialize};
+
+/// A persona in the stream: index into [`EventStream::actors`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ActorId(pub u32);
+
+/// A stream position: events are numbered 0.. in time order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventId(pub u64);
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// `author` publishes `doc`, optionally naming `target`.
+    Post {
+        doc: DocId,
+        author: ActorId,
+        target: Option<ActorId>,
+    },
+    /// `amplifier` quotes/reposts `doc` to their followers.
+    Amplify { doc: DocId, amplifier: ActorId },
+    /// `follower` starts following `followee`.
+    Follow {
+        follower: ActorId,
+        followee: ActorId,
+    },
+}
+
+/// One stream event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamEvent {
+    pub id: EventId,
+    /// Unix timestamp (seconds); non-decreasing along the stream.
+    pub timestamp: u64,
+    pub kind: EventKind,
+}
+
+/// A complete event stream: the actor table plus time-ordered events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventStream {
+    /// Actor handles; `ActorId(i)` names `actors[i]`.
+    pub actors: Vec<String>,
+    /// Events ordered by `(timestamp, id)` with `id` equal to position.
+    pub events: Vec<StreamEvent>,
+}
+
+/// Magic tag on the header line, so a corpus JSONL fed to `watch` by
+/// mistake is a typed refusal instead of a garbled parse.
+const STREAM_TAG: &str = "incite-events-v1";
+
+/// Seed for the stream digest (independent of the feature hashes).
+const DIGEST_SEED: u64 = 0x0b5e_55ed_57ae_a41d;
+
+#[derive(Serialize, Deserialize)]
+struct HeaderRecord {
+    stream: String,
+    actors: Vec<String>,
+}
+
+/// Flat serde-facing record: `kind` selects which fields are meaningful
+/// (`post`: actor=author, other=target; `amplify`: actor=amplifier;
+/// `follow`: actor=follower, other=followee).
+#[derive(Serialize, Deserialize)]
+struct EventRecord {
+    id: u64,
+    ts: u64,
+    kind: String,
+    doc: Option<u64>,
+    actor: u32,
+    other: Option<u32>,
+}
+
+impl EventStream {
+    /// Content digest of the actor table and every event, used to bind a
+    /// checkpointed ranker state to the exact stream it was built from.
+    pub fn digest(&self) -> String {
+        let mut bytes = Vec::with_capacity(self.events.len() * 24 + 64);
+        bytes.extend_from_slice(&(self.actors.len() as u64).to_le_bytes());
+        for handle in &self.actors {
+            bytes.extend_from_slice(&(handle.len() as u64).to_le_bytes());
+            bytes.extend_from_slice(handle.as_bytes());
+        }
+        for event in &self.events {
+            let (kind, doc, actor, other) = encode_kind(&event.kind);
+            bytes.extend_from_slice(&event.id.0.to_le_bytes());
+            bytes.extend_from_slice(&event.timestamp.to_le_bytes());
+            bytes.push(kind);
+            bytes.extend_from_slice(&doc.unwrap_or(u64::MAX).to_le_bytes());
+            bytes.extend_from_slice(&actor.to_le_bytes());
+            bytes.extend_from_slice(&other.unwrap_or(u32::MAX).to_le_bytes());
+        }
+        format!("{:016x}", fnv1a(&bytes, DIGEST_SEED))
+    }
+
+    /// Serializes the stream to JSONL bytes (header line + one event per
+    /// line). Callers persist the buffer through the atomic-write funnel.
+    pub fn encode(&self) -> Result<Vec<u8>, StreamError> {
+        let mut out = Vec::with_capacity(self.events.len() * 64 + 256);
+        let header = HeaderRecord {
+            stream: STREAM_TAG.to_string(),
+            actors: self.actors.clone(),
+        };
+        let line = serde_json::to_string(&header).map_err(|_| StreamError::Encode)?;
+        out.extend_from_slice(line.as_bytes());
+        out.push(b'\n');
+        for event in &self.events {
+            let (kind, doc, actor, other) = encode_kind(&event.kind);
+            let record = EventRecord {
+                id: event.id.0,
+                ts: event.timestamp,
+                kind: kind_name(kind).to_string(),
+                doc,
+                actor,
+                other,
+            };
+            let line = serde_json::to_string(&record).map_err(|_| StreamError::Encode)?;
+            out.extend_from_slice(line.as_bytes());
+            out.push(b'\n');
+        }
+        Ok(out)
+    }
+
+    /// Parses JSONL bytes back into a validated stream: header tag, UTF-8,
+    /// per-line JSON, known kinds, in-table actor indices, sequential ids
+    /// and non-decreasing timestamps. Errors carry line numbers only.
+    pub fn decode(bytes: &[u8]) -> Result<EventStream, StreamError> {
+        let text = std::str::from_utf8(bytes).map_err(|_| StreamError::MissingHeader)?;
+        let mut lines = text.lines().enumerate();
+        let (_, header_line) = lines.next().ok_or(StreamError::MissingHeader)?;
+        let header: HeaderRecord =
+            serde_json::from_str(header_line).map_err(|_| StreamError::MissingHeader)?;
+        if header.stream != STREAM_TAG {
+            return Err(StreamError::MissingHeader);
+        }
+        let n_actors = header.actors.len() as u32;
+
+        let mut events = Vec::new();
+        let mut last_ts = 0u64;
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record: EventRecord = serde_json::from_str(line)
+                .map_err(|_| StreamError::BadEventLine { line: lineno })?;
+            let check_actor = |a: u32| -> Result<ActorId, StreamError> {
+                if a < n_actors {
+                    Ok(ActorId(a))
+                } else {
+                    Err(StreamError::UnknownActor { actor: a })
+                }
+            };
+            let kind = match record.kind.as_str() {
+                "post" => EventKind::Post {
+                    doc: DocId(
+                        record
+                            .doc
+                            .ok_or(StreamError::BadEventLine { line: lineno })?,
+                    ),
+                    author: check_actor(record.actor)?,
+                    target: record.other.map(check_actor).transpose()?,
+                },
+                "amplify" => EventKind::Amplify {
+                    doc: DocId(
+                        record
+                            .doc
+                            .ok_or(StreamError::BadEventLine { line: lineno })?,
+                    ),
+                    amplifier: check_actor(record.actor)?,
+                },
+                "follow" => EventKind::Follow {
+                    follower: check_actor(record.actor)?,
+                    followee: check_actor(
+                        record
+                            .other
+                            .ok_or(StreamError::BadEventLine { line: lineno })?,
+                    )?,
+                },
+                _ => return Err(StreamError::BadEventLine { line: lineno }),
+            };
+            if record.id != events.len() as u64 || record.ts < last_ts {
+                return Err(StreamError::BadEventLine { line: lineno });
+            }
+            last_ts = record.ts;
+            events.push(StreamEvent {
+                id: EventId(record.id),
+                timestamp: record.ts,
+                kind,
+            });
+        }
+        Ok(EventStream {
+            actors: header.actors,
+            events,
+        })
+    }
+}
+
+fn encode_kind(kind: &EventKind) -> (u8, Option<u64>, u32, Option<u32>) {
+    match *kind {
+        EventKind::Post {
+            doc,
+            author,
+            target,
+        } => (0, Some(doc.0), author.0, target.map(|t| t.0)),
+        EventKind::Amplify { doc, amplifier } => (1, Some(doc.0), amplifier.0, None),
+        EventKind::Follow { follower, followee } => (2, None, follower.0, Some(followee.0)),
+    }
+}
+
+fn kind_name(kind: u8) -> &'static str {
+    match kind {
+        0 => "post",
+        1 => "amplify",
+        _ => "follow",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EventStream {
+        EventStream {
+            actors: vec!["grimwolf1".to_string(), "palefrog2".to_string()],
+            events: vec![
+                StreamEvent {
+                    id: EventId(0),
+                    timestamp: 100,
+                    kind: EventKind::Follow {
+                        follower: ActorId(1),
+                        followee: ActorId(0),
+                    },
+                },
+                StreamEvent {
+                    id: EventId(1),
+                    timestamp: 200,
+                    kind: EventKind::Post {
+                        doc: DocId(7),
+                        author: ActorId(0),
+                        target: Some(ActorId(1)),
+                    },
+                },
+                StreamEvent {
+                    id: EventId(2),
+                    timestamp: 260,
+                    kind: EventKind::Amplify {
+                        doc: DocId(7),
+                        amplifier: ActorId(1),
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() -> Result<(), StreamError> {
+        let stream = sample();
+        let bytes = stream.encode()?;
+        let back = EventStream::decode(&bytes)?;
+        assert_eq!(back, stream);
+        assert_eq!(back.digest(), stream.digest());
+        Ok(())
+    }
+
+    #[test]
+    fn digest_tracks_content() {
+        let stream = sample();
+        let mut other = stream.clone();
+        other.events[2].timestamp += 1;
+        assert_ne!(stream.digest(), other.digest());
+    }
+
+    #[test]
+    fn decode_refuses_wrong_header() {
+        let err = EventStream::decode(b"{\"not\":\"a header\"}\n");
+        assert!(matches!(err, Err(StreamError::MissingHeader)));
+        let err = EventStream::decode(b"");
+        assert!(matches!(err, Err(StreamError::MissingHeader)));
+    }
+
+    #[test]
+    fn decode_refuses_bad_lines_by_number_only() -> Result<(), StreamError> {
+        let stream = sample();
+        let mut bytes = stream.encode()?;
+        bytes.extend_from_slice(b"{\"id\":3,\"ts\":1,\"kind\":\"post\",\"actor\":0}\n");
+        // ts regressed below the last event's: refused with the file line
+        // number (header is line 1, events start at line 2).
+        match EventStream::decode(&bytes) {
+            Err(StreamError::BadEventLine { line }) => assert_eq!(line, 5),
+            other => panic!("expected BadEventLine, got {other:?}"),
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn decode_refuses_out_of_table_actor() -> Result<(), StreamError> {
+        let stream = sample();
+        let bytes = stream.encode()?;
+        let text = String::from_utf8(bytes).map_err(|_| StreamError::Encode)?;
+        let bad = text.replace("\"actor\":1", "\"actor\":9");
+        match EventStream::decode(bad.as_bytes()) {
+            Err(StreamError::UnknownActor { actor: 9 }) => Ok(()),
+            other => panic!("expected UnknownActor, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Seeded, deterministic event simulator over the corpus' persona model.
+//!
+//! The generator produces documents with authors, timestamps and ground
+//! truth; this module extends that world model with the *dynamics* the
+//! paper could only observe indirectly: who follows whom, and which
+//! posts get quoted/reposted into new audiences. The simulator is the
+//! world, so it may read ground truth (targeted incitements amplify
+//! harder — the coordination the paper measures); the ranker downstream
+//! sees only events and text, never truth.
+//!
+//! Determinism: one `StdRng` seeded from `SimConfig::seed`, documents
+//! visited in `(timestamp, id)` order, actor table sorted. Same seed +
+//! same corpus → byte-identical stream.
+
+use crate::event::{ActorId, EventId, EventKind, EventStream, StreamEvent};
+use incite_corpus::Corpus;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Simulator knobs. Defaults produce a stream roughly 3× the corpus'
+/// document count: one post per document plus follows and amplifies.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// RNG seed; the only source of randomness.
+    pub seed: u64,
+    /// Mean follower count materialized when an actor first acts
+    /// (uniform 1..=2*mean).
+    pub follower_mean: u32,
+    /// Probability a non-targeted document gets one amplification.
+    pub benign_amplify: f64,
+    /// Max amplifications of a targeted (CTH/dox) document (uniform 1..=max).
+    pub hot_amplify: u32,
+    /// Probability each document's arrival also spawns a follow event.
+    pub follow_churn: f64,
+    /// Truncate the stream to this many events after sorting (0 = all).
+    pub max_events: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 7,
+            follower_mean: 6,
+            benign_amplify: 0.05,
+            hot_amplify: 3,
+            follow_churn: 0.10,
+            max_events: 0,
+        }
+    }
+}
+
+/// Builds the deterministic event stream for a corpus.
+pub fn simulate(corpus: &Corpus, config: &SimConfig) -> EventStream {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Actor table: every author plus every named target, sorted so ids
+    // are stable regardless of document order.
+    let mut handles: BTreeSet<&str> = BTreeSet::new();
+    for doc in &corpus.documents {
+        handles.insert(doc.author.as_str());
+        if let Some(target) = &doc.truth.target_handle {
+            handles.insert(target.as_str());
+        }
+    }
+    let actors: Vec<String> = handles.iter().map(|h| h.to_string()).collect();
+    let index: BTreeMap<&str, u32> = actors
+        .iter()
+        .enumerate()
+        .map(|(i, h)| (h.as_str(), i as u32))
+        .collect();
+    let n = actors.len() as u32;
+
+    // Documents in arrival order.
+    let mut docs: Vec<_> = corpus.documents.iter().collect();
+    docs.sort_by_key(|d| (d.timestamp, d.id.0));
+
+    let mut events: Vec<(u64, EventKind)> = Vec::new();
+
+    // Follower edges materialize lazily, the first time an actor acts
+    // (posts or amplifies): a crawler learns an account's followers when
+    // it first encounters the account. This keeps follow events
+    // interleaved with posts, so a `max_events` prefix of the stream is
+    // a balanced sample instead of a wall of graph bootstrap.
+    let mut materialized: BTreeSet<u32> = BTreeSet::new();
+    let mut ensure_followers =
+        |actor: u32, ts: u64, rng: &mut StdRng, events: &mut Vec<(u64, EventKind)>| {
+            if n < 2 || !materialized.insert(actor) {
+                return;
+            }
+            let count = rng.gen_range(1..=config.follower_mean.max(1) * 2);
+            for _ in 0..count {
+                let follower = rng.gen_range(0..n);
+                if follower != actor {
+                    events.push((
+                        ts,
+                        EventKind::Follow {
+                            follower: ActorId(follower),
+                            followee: ActorId(actor),
+                        },
+                    ));
+                }
+            }
+        };
+
+    for doc in docs {
+        let author = index[doc.author.as_str()];
+        ensure_followers(author, doc.timestamp, &mut rng, &mut events);
+        let target = doc
+            .truth
+            .target_handle
+            .as_deref()
+            .map(|h| ActorId(index[h]));
+        events.push((
+            doc.timestamp,
+            EventKind::Post {
+                doc: doc.id,
+                author: ActorId(author),
+                target,
+            },
+        ));
+
+        // Targeted incitements amplify hard; benign posts rarely.
+        let targeted = target.is_some() && (doc.truth.is_cth || doc.truth.is_dox);
+        let amps = if targeted {
+            rng.gen_range(1..=config.hot_amplify.max(1))
+        } else if rng.gen_bool(config.benign_amplify) {
+            1
+        } else {
+            0
+        };
+        for _ in 0..amps {
+            if n < 2 {
+                break;
+            }
+            let amplifier = loop {
+                let a = rng.gen_range(0..n);
+                if a != author {
+                    break a;
+                }
+            };
+            // The amplifier's followers must exist before the amplify
+            // event; same timestamp as the post sorts stably before the
+            // strictly-later amplification.
+            ensure_followers(amplifier, doc.timestamp, &mut rng, &mut events);
+            let delay = rng.gen_range(60..86_400u64);
+            events.push((
+                doc.timestamp + delay,
+                EventKind::Amplify {
+                    doc: doc.id,
+                    amplifier: ActorId(amplifier),
+                },
+            ));
+        }
+
+        // Background graph churn keeps audiences shifting over time.
+        if n >= 2 && rng.gen_bool(config.follow_churn) {
+            let follower = rng.gen_range(0..n);
+            let followee = loop {
+                let f = rng.gen_range(0..n);
+                if f != follower {
+                    break f;
+                }
+            };
+            events.push((
+                doc.timestamp,
+                EventKind::Follow {
+                    follower: ActorId(follower),
+                    followee: ActorId(followee),
+                },
+            ));
+        }
+    }
+
+    // Stable sort keeps insertion order within a timestamp, so event ids
+    // are a deterministic function of (corpus, config).
+    events.sort_by_key(|(ts, _)| *ts);
+    if config.max_events > 0 {
+        events.truncate(config.max_events);
+    }
+    let events = events
+        .into_iter()
+        .enumerate()
+        .map(|(i, (timestamp, kind))| StreamEvent {
+            id: EventId(i as u64),
+            timestamp,
+            kind,
+        })
+        .collect();
+
+    EventStream { actors, events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incite_corpus::{generate, CorpusConfig};
+
+    fn tiny_corpus() -> Corpus {
+        generate(&CorpusConfig::tiny(404))
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let corpus = tiny_corpus();
+        let config = SimConfig {
+            max_events: 500,
+            ..SimConfig::default()
+        };
+        let a = simulate(&corpus, &config);
+        let b = simulate(&corpus, &config);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let corpus = tiny_corpus();
+        let a = simulate(&corpus, &SimConfig::default());
+        let b = simulate(
+            &corpus,
+            &SimConfig {
+                seed: 8,
+                ..SimConfig::default()
+            },
+        );
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn stream_is_time_ordered_and_roundtrips() {
+        let corpus = tiny_corpus();
+        let stream = simulate(
+            &corpus,
+            &SimConfig {
+                max_events: 800,
+                ..SimConfig::default()
+            },
+        );
+        assert!(!stream.events.is_empty());
+        for pair in stream.events.windows(2) {
+            assert!(pair[0].timestamp <= pair[1].timestamp);
+        }
+        for (i, event) in stream.events.iter().enumerate() {
+            assert_eq!(event.id.0, i as u64);
+        }
+        let bytes = stream.encode().expect("encode");
+        let back = EventStream::decode(&bytes).expect("decode");
+        assert_eq!(back, stream);
+    }
+
+    #[test]
+    fn targeted_documents_are_amplified() {
+        let corpus = tiny_corpus();
+        let stream = simulate(&corpus, &SimConfig::default());
+        let mut amplified: BTreeSet<u64> = BTreeSet::new();
+        for event in &stream.events {
+            if let EventKind::Amplify { doc, .. } = event.kind {
+                amplified.insert(doc.0);
+            }
+        }
+        let targeted = corpus
+            .documents
+            .iter()
+            .filter(|d| d.truth.target_handle.is_some() && (d.truth.is_cth || d.truth.is_dox))
+            .count();
+        let targeted_amplified = corpus
+            .documents
+            .iter()
+            .filter(|d| {
+                d.truth.target_handle.is_some()
+                    && (d.truth.is_cth || d.truth.is_dox)
+                    && amplified.contains(&d.id.0)
+            })
+            .count();
+        // Every targeted incitement gets at least one amplification.
+        assert_eq!(targeted_amplified, targeted);
+        assert!(targeted > 0, "tiny corpus should contain targeted docs");
+    }
+}

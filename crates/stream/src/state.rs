@@ -1,0 +1,323 @@
+//! Checkpoint/resume of ranker state through the `atomic_io` funnel.
+//!
+//! One `STREAM.ckpt` file per state directory, written with
+//! [`atomic_io::write_hashed`] (tmp + rename + integrity footer) so a
+//! kill at any instant leaves either the previous state or the new one,
+//! never a torn file. The payload is JSON over flat rows — the vendored
+//! serde derives structs and fieldless enums only — and every float is
+//! stored as its raw `u32` bits, so a save/load cycle is byte-exact and
+//! resumed runs produce byte-identical rankings.
+//!
+//! A state file is bound to the stream digest and the ranker-config
+//! fingerprint it was written under; loading it against anything else is
+//! a typed [`StreamError::StateMismatch`].
+
+use crate::ranker::{ActorState, DocState, RankerConfig, TargetState, ThreatEntry, ThreatRanker};
+use crate::StreamError;
+use incite_core::checkpoint::atomic_io;
+use incite_ml::TopicFingerprint;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Checkpoint file name inside the state directory.
+pub const STATE_FILE: &str = "STREAM.ckpt";
+
+const STATE_VERSION: u32 = 1;
+
+#[derive(Serialize, Deserialize)]
+struct StateFile {
+    version: u32,
+    stream_digest: String,
+    config_fingerprint: String,
+    next_event: u64,
+    epochs_done: u64,
+    actors: Vec<ActorRow>,
+    follows: Vec<FollowRow>,
+    docs: Vec<DocRow>,
+    targets: Vec<TargetRow>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct ActorRow {
+    /// Fingerprint slots as raw f32 bits (byte-exact roundtrip).
+    fingerprint: Vec<u32>,
+    history: Vec<u64>,
+    posts: u64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct FollowRow {
+    followee: u32,
+    followers: Vec<u32>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct DocRow {
+    doc: u64,
+    author: u32,
+    target: Option<u32>,
+    toxicity_bits: u32,
+    fingerprint: Vec<u32>,
+    exposed: Vec<u32>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct TargetRow {
+    target: u32,
+    ladder_idx: u64,
+    seen: u32,
+    admitted: u32,
+    entries: Vec<EntryRow>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct EntryRow {
+    event: u64,
+    doc: u64,
+    audience: u32,
+    toxicity_bits: u32,
+    overlap_bits: u32,
+    threat_bits: u32,
+    contributors: Vec<u64>,
+}
+
+fn pack_fingerprint(fp: &TopicFingerprint) -> Vec<u32> {
+    fp.slots().iter().map(|s| s.to_bits()).collect()
+}
+
+fn unpack_fingerprint(bits: &[u32]) -> Result<TopicFingerprint, StreamError> {
+    let slots: Vec<f32> = bits.iter().map(|b| f32::from_bits(*b)).collect();
+    TopicFingerprint::from_slots(&slots).ok_or(StreamError::StateMismatch)
+}
+
+/// Saves the ranker to `state_dir/STREAM.ckpt`, bound to `stream_digest`.
+/// Returns the payload's content hash.
+pub fn save_state(
+    state_dir: &Path,
+    ranker: &ThreatRanker,
+    stream_digest: &str,
+) -> Result<String, StreamError> {
+    let file = StateFile {
+        version: STATE_VERSION,
+        stream_digest: stream_digest.to_string(),
+        config_fingerprint: ranker.config.fingerprint(),
+        next_event: ranker.next_event as u64,
+        epochs_done: ranker.epochs_done,
+        actors: ranker
+            .actors
+            .iter()
+            .map(|a| ActorRow {
+                fingerprint: pack_fingerprint(&a.fingerprint),
+                history: a.history.clone(),
+                posts: a.posts,
+            })
+            .collect(),
+        follows: ranker
+            .follows
+            .iter()
+            .map(|(followee, followers)| FollowRow {
+                followee: *followee,
+                followers: followers.iter().copied().collect(),
+            })
+            .collect(),
+        docs: ranker
+            .docs
+            .iter()
+            .map(|(doc, state)| DocRow {
+                doc: *doc,
+                author: state.author,
+                target: state.target,
+                toxicity_bits: state.toxicity_bits,
+                fingerprint: pack_fingerprint(&state.fingerprint),
+                exposed: state.exposed.iter().copied().collect(),
+            })
+            .collect(),
+        targets: ranker
+            .targets
+            .iter()
+            .map(|(target, state)| TargetRow {
+                target: *target,
+                ladder_idx: state.ladder_idx as u64,
+                seen: state.seen,
+                admitted: state.admitted,
+                entries: state
+                    .entries
+                    .iter()
+                    .map(|e| EntryRow {
+                        event: e.event,
+                        doc: e.doc,
+                        audience: e.audience,
+                        toxicity_bits: e.toxicity_bits,
+                        overlap_bits: e.overlap_bits,
+                        threat_bits: e.threat_bits,
+                        contributors: e.contributors.clone(),
+                    })
+                    .collect(),
+            })
+            .collect(),
+    };
+    let payload = serde_json::to_string(&file).map_err(|_| StreamError::Encode)?;
+    let hash = atomic_io::write_hashed(&state_dir.join(STATE_FILE), payload.as_bytes())?;
+    Ok(hash)
+}
+
+/// Loads a ranker from `state_dir/STREAM.ckpt`. The checkpoint must have
+/// been written for the same stream digest and an equivalent config.
+pub fn load_state(
+    state_dir: &Path,
+    config: RankerConfig,
+    n_actors: usize,
+    stream_digest: &str,
+) -> Result<ThreatRanker, StreamError> {
+    let payload = atomic_io::read_hashed(&state_dir.join(STATE_FILE))?;
+    let text = std::str::from_utf8(&payload).map_err(|_| StreamError::StateMismatch)?;
+    let file: StateFile = serde_json::from_str(text).map_err(|_| StreamError::StateMismatch)?;
+    if file.version != STATE_VERSION
+        || file.stream_digest != stream_digest
+        || file.config_fingerprint != config.fingerprint()
+        || file.actors.len() != n_actors
+    {
+        return Err(StreamError::StateMismatch);
+    }
+
+    let mut ranker = ThreatRanker::new(config, n_actors);
+    ranker.next_event = file.next_event as usize;
+    ranker.epochs_done = file.epochs_done;
+    for (slot, row) in ranker.actors.iter_mut().zip(file.actors.iter()) {
+        *slot = ActorState {
+            fingerprint: unpack_fingerprint(&row.fingerprint)?,
+            history: row.history.clone(),
+            posts: row.posts,
+        };
+    }
+    for row in &file.follows {
+        let followers: BTreeSet<u32> = row.followers.iter().copied().collect();
+        ranker.follows.insert(row.followee, followers);
+    }
+    let mut docs: BTreeMap<u64, DocState> = BTreeMap::new();
+    for row in &file.docs {
+        docs.insert(
+            row.doc,
+            DocState {
+                author: row.author,
+                target: row.target,
+                toxicity_bits: row.toxicity_bits,
+                fingerprint: unpack_fingerprint(&row.fingerprint)?,
+                exposed: row.exposed.iter().copied().collect(),
+            },
+        );
+    }
+    ranker.docs = docs;
+    for row in &file.targets {
+        ranker.targets.insert(
+            row.target,
+            TargetState {
+                ladder_idx: row.ladder_idx as usize,
+                seen: row.seen,
+                admitted: row.admitted,
+                entries: row
+                    .entries
+                    .iter()
+                    .map(|e| ThreatEntry {
+                        event: e.event,
+                        doc: e.doc,
+                        audience: e.audience,
+                        toxicity_bits: e.toxicity_bits,
+                        overlap_bits: e.overlap_bits,
+                        threat_bits: e.threat_bits,
+                        contributors: e.contributors.clone(),
+                    })
+                    .collect(),
+            },
+        );
+    }
+    Ok(ranker)
+}
+
+/// Whether a state checkpoint exists in `state_dir`.
+pub fn has_state(state_dir: &Path) -> bool {
+    state_dir.join(STATE_FILE).is_file()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranker::RankerConfig;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("incite-stream-state-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_everything() -> Result<(), StreamError> {
+        let dir = temp_dir("roundtrip");
+        let mut ranker = ThreatRanker::new(RankerConfig::default(), 3);
+        ranker.next_event = 42;
+        ranker.epochs_done = 2;
+        ranker.follows.insert(1, [0u32, 2].into_iter().collect());
+        ranker.actors[1].history = vec![10, 11];
+        ranker.actors[1].posts = 2;
+        ranker.targets.insert(
+            2,
+            TargetState {
+                ladder_idx: 3,
+                seen: 5,
+                admitted: 1,
+                entries: vec![ThreatEntry {
+                    event: 9,
+                    doc: 10,
+                    audience: 0,
+                    toxicity_bits: 0.75f32.to_bits(),
+                    overlap_bits: 0.5f32.to_bits(),
+                    threat_bits: 0.375f32.to_bits(),
+                    contributors: vec![10, 11],
+                }],
+            },
+        );
+
+        save_state(&dir, &ranker, "digest-a")?;
+        assert!(has_state(&dir));
+        let loaded = load_state(&dir, RankerConfig::default(), 3, "digest-a")?;
+        assert_eq!(loaded.next_event, 42);
+        assert_eq!(loaded.epochs_done, 2);
+        assert_eq!(loaded.follows, ranker.follows);
+        assert_eq!(loaded.actors[1].history, vec![10, 11]);
+        let target = loaded.targets.get(&2).expect("target restored");
+        assert_eq!(target.ladder_idx, 3);
+        assert_eq!(target.entries, ranker.targets[&2].entries);
+        let _ = std::fs::remove_dir_all(&dir);
+        Ok(())
+    }
+
+    #[test]
+    fn mismatched_digest_or_config_is_refused() -> Result<(), StreamError> {
+        let dir = temp_dir("mismatch");
+        let ranker = ThreatRanker::new(RankerConfig::default(), 2);
+        save_state(&dir, &ranker, "digest-a")?;
+        assert!(matches!(
+            load_state(&dir, RankerConfig::default(), 2, "digest-b"),
+            Err(StreamError::StateMismatch)
+        ));
+        let other_config = RankerConfig {
+            top_k: 99,
+            ..RankerConfig::default()
+        };
+        assert!(matches!(
+            load_state(&dir, other_config, 2, "digest-a"),
+            Err(StreamError::StateMismatch)
+        ));
+        // Thread count is not part of the fingerprint: state written at
+        // one thread count loads at another.
+        let threads_config = RankerConfig {
+            threads: 8,
+            ..RankerConfig::default()
+        };
+        assert!(load_state(&dir, threads_config, 2, "digest-a").is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+        Ok(())
+    }
+}

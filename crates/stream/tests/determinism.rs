@@ -1,0 +1,183 @@
+//! The stream determinism contract, end to end:
+//!
+//! 1. rankings are byte-identical at 1, 2 and 8 threads;
+//! 2. a split run (checkpoint after a few epochs, resume in a fresh
+//!    invocation) reproduces the uninterrupted run byte for byte;
+//! 3. with `--features failpoints`, a kill-point sweep crashes the watch
+//!    loop on both sides of every early checkpoint boundary
+//!    (`stream-mid-epoch-N` before the save, `stream-after-epoch-N`
+//!    after it), resumes disarmed, and demands byte-identical rankings —
+//!    the same discipline as the core pipeline's crash-recovery sweep.
+
+use incite_corpus::{generate, Corpus, CorpusConfig};
+use incite_ml::{FeaturizerConfig, TextClassifier, TrainConfig};
+use incite_stream::{run_watch, simulate, EventStream, RankerConfig, SimConfig, WatchConfig};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn corpus() -> Corpus {
+    generate(&CorpusConfig::tiny(404))
+}
+
+fn state_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("incite-stream-sweep-{tag}-{}", std::process::id()))
+}
+
+struct Fixture {
+    stream: EventStream,
+    texts: BTreeMap<u64, String>,
+    classifier: TextClassifier,
+}
+
+impl Fixture {
+    fn new() -> Self {
+        let corpus = corpus();
+        let stream = simulate(&corpus, &SimConfig::default());
+        let texts: BTreeMap<u64, String> = corpus
+            .documents
+            .iter()
+            .map(|d| (d.id.0, d.text.clone()))
+            .collect();
+        let labeled: Vec<(String, bool)> = corpus
+            .documents
+            .iter()
+            .take(800)
+            .map(|d| (d.text.clone(), d.truth.is_cth))
+            .collect();
+        let refs: Vec<(&str, bool)> = labeled.iter().map(|(t, y)| (t.as_str(), *y)).collect();
+        let classifier = TextClassifier::train(
+            refs.iter().copied(),
+            FeaturizerConfig::default(),
+            TrainConfig {
+                epochs: 3,
+                ..TrainConfig::default()
+            },
+        );
+        Fixture {
+            stream,
+            texts,
+            classifier,
+        }
+    }
+
+    fn doc_texts(&self) -> BTreeMap<u64, &str> {
+        self.texts.iter().map(|(id, t)| (*id, t.as_str())).collect()
+    }
+
+    fn config(&self, threads: usize) -> WatchConfig {
+        WatchConfig {
+            ranker: RankerConfig {
+                threads,
+                epoch_len: 2048,
+                ..RankerConfig::default()
+            },
+            ..WatchConfig::default()
+        }
+    }
+}
+
+#[test]
+fn rankings_are_byte_identical_across_thread_counts() {
+    let fx = Fixture::new();
+    let doc_texts = fx.doc_texts();
+    let mut rendered: Vec<String> = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let outcome = run_watch(&fx.stream, &doc_texts, &fx.classifier, &fx.config(threads))
+            .expect("watch run");
+        assert!(outcome.epochs > 2, "stream too short to exercise epochs");
+        assert!(
+            outcome.rankings.contains("target "),
+            "no targets ranked at {threads} threads"
+        );
+        rendered.push(outcome.rankings);
+    }
+    assert_eq!(rendered[0], rendered[1], "1 vs 2 threads diverged");
+    assert_eq!(rendered[0], rendered[2], "1 vs 8 threads diverged");
+}
+
+#[test]
+fn split_run_resume_is_byte_identical() {
+    let fx = Fixture::new();
+    let doc_texts = fx.doc_texts();
+    let reference = run_watch(&fx.stream, &doc_texts, &fx.classifier, &fx.config(2))
+        .expect("uninterrupted run");
+
+    let dir = state_dir("split");
+    std::fs::remove_dir_all(&dir).ok();
+    // First invocation: a few checkpointed epochs, then stop.
+    let mut first = fx.config(1);
+    first.state_dir = Some(dir.clone());
+    first.max_epochs = Some(2);
+    let partial = run_watch(&fx.stream, &doc_texts, &fx.classifier, &first).expect("partial run");
+    assert_eq!(partial.epochs, 2);
+    assert!(partial.resumed_at.is_none());
+
+    // Second invocation: resumes from the checkpoint, different thread
+    // count, runs to the end.
+    let mut second = fx.config(4);
+    second.state_dir = Some(dir.clone());
+    let resumed = run_watch(&fx.stream, &doc_texts, &fx.classifier, &second).expect("resumed run");
+    assert_eq!(resumed.resumed_at, Some(partial.events as u64));
+    assert_eq!(resumed.epochs, reference.epochs);
+    assert_eq!(
+        resumed.rankings, reference.rankings,
+        "resumed rankings diverged from the uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Crash on both sides of each early checkpoint boundary and resume.
+/// `stream-mid-epoch-N` fires with epoch N computed but unsaved (resume
+/// replays it); `stream-after-epoch-N` fires with epoch N durable
+/// (resume skips it). Either way the final rankings must match the
+/// uninterrupted run byte for byte.
+#[cfg(feature = "failpoints")]
+#[test]
+fn kill_resume_sweep_is_byte_identical() {
+    use incite_stream::StreamError;
+
+    let fx = Fixture::new();
+    let doc_texts = fx.doc_texts();
+    let reference = run_watch(&fx.stream, &doc_texts, &fx.classifier, &fx.config(2))
+        .expect("uninterrupted run");
+
+    let sites: Vec<String> = (1..=3)
+        .flat_map(|epoch| {
+            [
+                format!("stream-mid-epoch-{epoch}"),
+                format!("stream-after-epoch-{epoch}"),
+            ]
+        })
+        .collect();
+    for site in &sites {
+        let dir = state_dir(&format!("kill-{site}"));
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Crash: the armed site aborts the watch loop exactly there.
+        let mut armed = fx.config(2);
+        armed.state_dir = Some(dir.clone());
+        armed.failpoints.arm(site);
+        match run_watch(&fx.stream, &doc_texts, &fx.classifier, &armed) {
+            Err(StreamError::Fault(fault)) => assert_eq!(&fault.site, site),
+            other => panic!("site {site}: expected injected fault, got {other:?}"),
+        }
+
+        // Resume: same state directory, disarmed, to the end.
+        let mut disarmed = fx.config(2);
+        disarmed.state_dir = Some(dir.clone());
+        let recovered = run_watch(&fx.stream, &doc_texts, &fx.classifier, &disarmed)
+            .unwrap_or_else(|e| panic!("site {site}: resume failed: {e}"));
+        // mid-epoch-1 dies before the first save: nothing to resume from.
+        if site != "stream-mid-epoch-1" {
+            assert!(
+                recovered.resumed_at.is_some(),
+                "site {site}: expected a checkpoint to resume from"
+            );
+        }
+        assert_eq!(
+            recovered.rankings, reference.rankings,
+            "site {site}: recovered rankings diverged from the uninterrupted run"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
