@@ -73,6 +73,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "incite watch event loop: simulate + rank (BENCH line)",
     ),
     (
+        "lint_throughput",
+        "incite-lint engine self-scan: cold vs warm cache (BENCH line)",
+    ),
+    (
         "extension_attack_types",
         "\u{a7}9.2 extension: per-attack-type classifiers",
     ),
@@ -115,6 +119,7 @@ pub fn run_experiment(id: &str, ctx: &mut ReproContext) -> Option<String> {
         "featurize_throughput" => crate::featurize_throughput::run(ctx),
         "swap_availability" => crate::swap_availability::run(ctx),
         "stream_throughput" => crate::stream_throughput::run(ctx),
+        "lint_throughput" => crate::lint_throughput::run(ctx),
         "extension_attack_types" => extension_attack_types(ctx),
         "extension_longitudinal" => extension_longitudinal(ctx),
         _ => return None,

@@ -14,6 +14,7 @@ pub mod checkpoint_overhead;
 pub mod context;
 pub mod experiments;
 pub mod featurize_throughput;
+pub mod lint_throughput;
 pub mod serve_latency;
 pub mod stream_throughput;
 pub mod swap_availability;

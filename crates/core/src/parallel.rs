@@ -68,14 +68,44 @@ where
         return catch_unwind(AssertUnwindSafe(|| (0..n).map(&f).collect()))
             .map_err(|payload| ScoreError::WorkerPanic(panic_message(payload)));
     }
+    run_blocks(n, threads, BLOCK, f)
+}
 
+/// [`map_indexed`] for *coarse* work units (whole files, whole shards):
+/// the caller picks the block granularity and there is no serial cutoff,
+/// so even a few dozen heavy items fan out across workers. Determinism
+/// and panic safety are identical to [`map_indexed`] — slot `i` is always
+/// exactly `f(i)` regardless of `threads` or `block`.
+pub fn map_indexed_coarse<T, F>(
+    n: usize,
+    threads: usize,
+    block: usize,
+    f: F,
+) -> Result<Vec<T>, ScoreError>
+where
+    T: Send + Default,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 || n <= 1 {
+        return catch_unwind(AssertUnwindSafe(|| (0..n).map(&f).collect()))
+            .map_err(|payload| ScoreError::WorkerPanic(panic_message(payload)));
+    }
+    run_blocks(n, threads, block.max(1), f)
+}
+
+fn run_blocks<T, F>(n: usize, threads: usize, block: usize, f: F) -> Result<Vec<T>, ScoreError>
+where
+    T: Send + Default,
+    F: Fn(usize) -> T + Sync,
+{
     let mut out: Vec<T> = Vec::with_capacity(n);
     out.resize_with(n, T::default);
 
     // Fixed-range output blocks. Each is claimed exactly once through the
     // cursor, so the per-block mutexes are uncontended; they exist to hand
     // a `&mut` region to whichever worker claims the block.
-    let slots: Vec<Mutex<&mut [T]>> = out.chunks_mut(BLOCK).map(Mutex::new).collect();
+    let slots: Vec<Mutex<&mut [T]>> = out.chunks_mut(block).map(Mutex::new).collect();
     let cursor = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
     let failure: Mutex<Option<String>> = Mutex::new(None);
@@ -87,9 +117,9 @@ where
                     let b = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(slot) = slots.get(b) else { break };
                     let result = catch_unwind(AssertUnwindSafe(|| {
-                        let mut block = lock_unpoisoned(slot);
-                        let base = b * BLOCK;
-                        for (j, cell) in block.iter_mut().enumerate() {
+                        let mut cells = lock_unpoisoned(slot);
+                        let base = b * block;
+                        for (j, cell) in cells.iter_mut().enumerate() {
                             *cell = f(base + j);
                         }
                     }));
@@ -167,6 +197,32 @@ mod tests {
     fn empty_and_tiny_inputs() {
         assert_eq!(map_indexed(0, 4, |i| i).unwrap(), Vec::<usize>::new());
         assert_eq!(map_indexed(3, 4, |i| i).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn coarse_output_is_identical_across_threads_and_blocks() {
+        let serial = map_indexed_coarse(83, 1, 1, |i| (i * 17) as u64).unwrap();
+        for threads in [2, 3, 8] {
+            for block in [1, 4, 97] {
+                let parallel = map_indexed_coarse(83, threads, block, |i| (i * 17) as u64).unwrap();
+                assert_eq!(serial, parallel, "threads = {threads}, block = {block}");
+            }
+        }
+        assert_eq!(
+            map_indexed_coarse(0, 4, 1, |i| i).unwrap(),
+            Vec::<usize>::new()
+        );
+    }
+
+    #[test]
+    fn coarse_worker_panic_becomes_score_error() {
+        let result = map_indexed_coarse(40, 4, 1, |i| {
+            if i == 7 {
+                panic!("injected coarse failure");
+            }
+            i
+        });
+        assert!(matches!(result, Err(ScoreError::WorkerPanic(_))));
     }
 
     #[test]

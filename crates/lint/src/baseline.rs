@@ -23,9 +23,14 @@ use std::fmt;
 /// Typed failure modes of the baseline ledger.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BaselineError {
-    /// The file is not the JSON subset the baseline uses. The message
-    /// carries the byte offset of the first problem.
-    Parse { what: String },
+    /// The file is not the JSON subset the baseline uses. `offset` is
+    /// the byte offset of the first problem; `line` the 1-based line
+    /// it falls on.
+    Parse {
+        what: String,
+        offset: usize,
+        line: usize,
+    },
     /// An entry grandfathers more findings than currently exist — a
     /// stale ledger after a pay-down, or a hand-inflated count. Either
     /// way the committed file no longer describes reality and must be
@@ -41,7 +46,10 @@ pub enum BaselineError {
 impl fmt::Display for BaselineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BaselineError::Parse { what } => write!(f, "baseline does not parse: {what}"),
+            BaselineError::Parse { what, offset, line } => write!(
+                f,
+                "baseline does not parse: {what} at byte {offset} (line {line})"
+            ),
             BaselineError::Inflated {
                 rule,
                 file,
@@ -175,12 +183,22 @@ impl Baseline {
         Ok(())
     }
 
-    /// Parses the baseline JSON subset. Errors carry a byte offset.
+    /// Parses the baseline JSON subset. Errors carry both the byte
+    /// offset and the 1-based line number of the first problem, so a
+    /// hand-edited ledger points straight at the typo.
     pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
-        Baseline::parse_inner(text).map_err(|what| BaselineError::Parse { what })
+        Baseline::parse_inner(text).map_err(|(what, offset)| {
+            let line = 1 + text
+                .as_bytes()
+                .iter()
+                .take(offset)
+                .filter(|&&b| b == b'\n')
+                .count();
+            BaselineError::Parse { what, offset, line }
+        })
     }
 
-    fn parse_inner(text: &str) -> Result<Baseline, String> {
+    fn parse_inner(text: &str) -> Result<Baseline, (String, usize)> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
@@ -225,7 +243,7 @@ impl Baseline {
         }
         p.skip_ws();
         if p.pos != p.bytes.len() {
-            return Err(format!("trailing characters at byte {}", p.pos));
+            return Err(("trailing characters".to_string(), p.pos));
         }
         Ok(Baseline { counts })
     }
@@ -271,20 +289,20 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect(&mut self, b: u8) -> Result<(), (String, usize)> {
         if self.eat(b) {
             Ok(())
         } else {
-            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+            Err((format!("expected `{}`", b as char), self.pos))
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    fn string(&mut self) -> Result<String, (String, usize)> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
             match self.bytes.get(self.pos) {
-                None => return Err(format!("unterminated string at byte {}", self.pos)),
+                None => return Err(("unterminated string".to_string(), self.pos)),
                 Some(b'"') => {
                     self.pos += 1;
                     return Ok(out);
@@ -296,10 +314,9 @@ impl Parser<'_> {
                         Some(b'\\') => out.push('\\'),
                         Some(b'/') => out.push('/'),
                         other => {
-                            return Err(format!(
-                                "unsupported escape {:?} at byte {}",
-                                other.map(|&b| b as char),
-                                self.pos
+                            return Err((
+                                format!("unsupported escape {:?}", other.map(|&b| b as char)),
+                                self.pos,
                             ))
                         }
                     }
@@ -315,18 +332,18 @@ impl Parser<'_> {
         }
     }
 
-    fn integer(&mut self) -> Result<usize, String> {
+    fn integer(&mut self) -> Result<usize, (String, usize)> {
         let start = self.pos;
         while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
             self.pos += 1;
         }
         if self.pos == start {
-            return Err(format!("expected integer at byte {}", start));
+            return Err(("expected integer".to_string(), start));
         }
         std::str::from_utf8(&self.bytes[start..self.pos])
             .ok()
             .and_then(|s| s.parse().ok())
-            .ok_or_else(|| format!("invalid integer at byte {}", start))
+            .ok_or_else(|| ("invalid integer".to_string(), start))
     }
 }
 
@@ -369,11 +386,25 @@ mod tests {
     fn parse_rejects_garbage_with_typed_offset_error() {
         let err = Baseline::parse("{\"INC001\": {\"f\": }}").unwrap_err();
         match &err {
-            BaselineError::Parse { what } => assert!(what.contains("byte"), "{what}"),
+            BaselineError::Parse { what, offset, line } => {
+                assert_eq!(*offset, 17, "{what}");
+                assert_eq!(*line, 1);
+            }
             other => panic!("expected Parse error, got {other:?}"),
         }
         assert!(err.to_string().contains("does not parse"));
+        assert!(err.to_string().contains("at byte 17 (line 1)"));
         assert!(Baseline::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn parse_error_line_counts_newlines_before_the_offset() {
+        // The problem byte (`}` where an integer belongs) sits on line 3.
+        let err = Baseline::parse("{\n  \"INC001\": {\n    \"f\": }\n  }\n}\n").unwrap_err();
+        match &err {
+            BaselineError::Parse { line, .. } => assert_eq!(*line, 3),
+            other => panic!("expected Parse error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,346 @@
+//! Content-hash-keyed cache for the per-file stage (lex + pattern scan).
+//!
+//! The engine's per-file work — UTF-8 decode, masking, pragma/test-region
+//! extraction, and the INC001–INC007 pattern scan — depends on nothing but
+//! the file's own bytes, so it caches cleanly: one entry per path, keyed
+//! by the [`atomic_io::fnv64`] hash of the raw source. A warm run re-reads
+//! and re-hashes every file (cheap) and re-analyzes only the ones whose
+//! hash moved. The global passes (item graph, concurrency, taint,
+//! invariants) always run; they consume the cached [`MaskedFile`]s.
+//!
+//! The cache file itself is written through the `atomic_io` funnel — the
+//! same tmp + rename + integrity-footer discipline INC014 enforces on the
+//! rest of the workspace — so a kill mid-save leaves the previous cache,
+//! never a torn one. Any read failure (missing file, hash mismatch,
+//! version skew, rules fingerprint skew, parse error) degrades to a cold
+//! scan: the cache is an accelerator, never a correctness input.
+//!
+//! Cache key, in full: `(format version, rules fingerprint, path, content
+//! fnv64)`. The rules fingerprint hashes the catalog (ids + summaries +
+//! contracts), so editing a rule's semantics in a way that changes its
+//! catalog text invalidates every entry; a logic change that leaves the
+//! catalog untouched must bump [`CACHE_VERSION`] by hand.
+
+use crate::lexer::MaskedFile;
+use crate::rules::{Finding, RuleInfo, Severity};
+use incite_core::checkpoint::atomic_io;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Cache file name inside the cache directory.
+pub const CACHE_FILE: &str = "scan-cache.v1";
+
+/// Bump when the per-file stage changes without a catalog text change.
+const CACHE_VERSION: u32 = 1;
+
+/// One cached per-file stage result.
+pub struct CachedFile {
+    /// [`atomic_io::fnv64`] of the raw (pre-mask) source bytes.
+    pub content_hash: u64,
+    /// The full lexer output, reconstructed field by field.
+    pub masked: MaskedFile,
+    /// Pattern findings (INC001–INC007) for this file, in scan order.
+    pub findings: Vec<Finding>,
+}
+
+/// The whole cache: path → entry, deterministic order.
+#[derive(Default)]
+pub struct ScanCache {
+    pub entries: BTreeMap<String, CachedFile>,
+}
+
+/// Hash of the rule catalog: ids, summaries and contracts. Part of the
+/// cache key so rule edits invalidate stale per-file findings.
+pub fn rules_fingerprint() -> String {
+    let mut text = format!("incite-lint-cache v{CACHE_VERSION}\n");
+    for rule in crate::rules::CATALOG {
+        text.push_str(rule.id);
+        text.push('\t');
+        text.push_str(rule.summary);
+        text.push('\t');
+        text.push_str(rule.contract);
+        text.push('\n');
+    }
+    atomic_io::fnv64_hex(text.as_bytes())
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '\\' {
+            out.push(ch);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+impl ScanCache {
+    /// Loads the cache from `dir`, or an empty cache if anything at all is
+    /// wrong with the file (absent, corrupt, version/fingerprint skew).
+    pub fn load(dir: &Path) -> ScanCache {
+        let path = dir.join(CACHE_FILE);
+        let payload = match atomic_io::read_hashed(&path) {
+            Ok(payload) => payload,
+            Err(_) => return ScanCache::default(),
+        };
+        let text = match std::str::from_utf8(&payload) {
+            Ok(text) => text,
+            Err(_) => return ScanCache::default(),
+        };
+        parse(text).unwrap_or_default()
+    }
+
+    /// Persists the cache under `dir` through the atomic-write funnel.
+    /// Errors are returned so the engine can surface them in `--verbose`
+    /// contexts, but callers treat a failed save as a cold next run, not
+    /// a lint failure.
+    pub fn store(&self, dir: &Path) -> Result<(), String> {
+        std::fs::create_dir_all(dir).map_err(|err| format!("create {}: {err}", dir.display()))?;
+        let mut out = format!(
+            "incite-lint-cache v{CACHE_VERSION} {}\n",
+            rules_fingerprint()
+        );
+        for (path, entry) in &self.entries {
+            render_entry(&mut out, path, entry);
+        }
+        let path = dir.join(CACHE_FILE);
+        atomic_io::write_hashed(&path, out.as_bytes())
+            .map(|_| ())
+            .map_err(|err| format!("write {}: {err}", path.display()))
+    }
+
+    /// The cached entry for `path`, if its content hash still matches.
+    pub fn hit(&self, path: &str, content_hash: u64) -> Option<&CachedFile> {
+        self.entries
+            .get(path)
+            .filter(|entry| entry.content_hash == content_hash)
+    }
+}
+
+fn render_entry(out: &mut String, path: &str, entry: &CachedFile) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "F {:016x} {}", entry.content_hash, esc(path));
+    let _ = writeln!(out, "M {}", esc(&entry.masked.masked));
+    for (line, rule) in &entry.masked.suppressions {
+        let _ = writeln!(out, "S {line} {rule}");
+    }
+    for (lo, hi) in &entry.masked.test_regions {
+        let _ = writeln!(out, "T {lo} {hi}");
+    }
+    for (off, ident) in &entry.masked.captures {
+        let _ = writeln!(out, "C {off} {ident}");
+    }
+    for finding in &entry.findings {
+        let _ = writeln!(
+            out,
+            "X {} {} {} {} {}",
+            finding.rule,
+            finding.severity.as_str(),
+            finding.line,
+            finding.trace.len(),
+            esc(&finding.message)
+        );
+        for step in &finding.trace {
+            let _ = writeln!(out, "t {}", esc(step));
+        }
+    }
+}
+
+fn parse(text: &str) -> Option<ScanCache> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let expected = format!("incite-lint-cache v{CACHE_VERSION} {}", rules_fingerprint());
+    if header != expected {
+        return None;
+    }
+    let mut cache = ScanCache::default();
+    let mut current: Option<(String, CachedFile)> = None;
+    for line in lines {
+        let tag = line.get(0..2)?;
+        let rest = line.get(2..)?;
+        match tag {
+            "F " => {
+                if let Some((path, entry)) = current.take() {
+                    cache.entries.insert(path, entry);
+                }
+                let (hash_hex, path) = rest.split_once(' ')?;
+                let content_hash = u64::from_str_radix(hash_hex, 16).ok()?;
+                current = Some((
+                    unesc(path)?,
+                    CachedFile {
+                        content_hash,
+                        masked: MaskedFile {
+                            masked: String::new(),
+                            suppressions: Vec::new(),
+                            test_regions: Vec::new(),
+                            captures: Vec::new(),
+                        },
+                        findings: Vec::new(),
+                    },
+                ));
+            }
+            "M " => current.as_mut()?.1.masked.masked = unesc(rest)?,
+            "S " => {
+                let (line_no, rule) = rest.split_once(' ')?;
+                let line_no: usize = line_no.parse().ok()?;
+                current
+                    .as_mut()?
+                    .1
+                    .masked
+                    .suppressions
+                    .push((line_no, rule.to_string()));
+            }
+            "T " => {
+                let (lo, hi) = rest.split_once(' ')?;
+                current
+                    .as_mut()?
+                    .1
+                    .masked
+                    .test_regions
+                    .push((lo.parse().ok()?, hi.parse().ok()?));
+            }
+            "C " => {
+                let (off, ident) = rest.split_once(' ')?;
+                current
+                    .as_mut()?
+                    .1
+                    .masked
+                    .captures
+                    .push((off.parse().ok()?, ident.to_string()));
+            }
+            "X " => {
+                let mut parts = rest.splitn(5, ' ');
+                let rule = RuleInfo::find(parts.next()?)?.id;
+                let severity = match parts.next()? {
+                    "warning" => Severity::Warn,
+                    "error" => Severity::Error,
+                    _ => return None,
+                };
+                let line_no: usize = parts.next()?.parse().ok()?;
+                let _trace_len: usize = parts.next()?.parse().ok()?;
+                let message = unesc(parts.next()?)?;
+                let (path, entry) = current.as_mut()?;
+                entry.findings.push(Finding {
+                    rule,
+                    severity,
+                    file: path.clone(),
+                    line: line_no,
+                    message,
+                    trace: Vec::new(),
+                });
+            }
+            "t " => {
+                let step = unesc(rest)?;
+                current.as_mut()?.1.findings.last_mut()?.trace.push(step);
+            }
+            _ => return None,
+        }
+    }
+    if let Some((path, entry)) = current.take() {
+        cache.entries.insert(path, entry);
+    }
+    Some(cache)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entry(path: &str, source: &str) -> (String, CachedFile) {
+        let masked = MaskedFile::new(source);
+        let findings = crate::rules::scan_file(path, &masked);
+        let content_hash = atomic_io::fnv64(source.as_bytes());
+        (
+            path.to_string(),
+            CachedFile {
+                content_hash,
+                masked,
+                findings,
+            },
+        )
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("incite-lint-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_preserves_masked_file_and_findings() {
+        let dir = temp_dir("roundtrip");
+        let source = "//! doc\n// lint:allow INC001 demo\nfn f() {\n    let s = \"x\\ny {cap}\";\n    s.unwrap();\n}\n#[cfg(test)]\nmod tests {}\n";
+        let (path, entry) = sample_entry("crates/core/src/demo.rs", source);
+        let mut cache = ScanCache::default();
+        cache.entries.insert(path.clone(), entry);
+        cache.store(&dir).expect("store");
+
+        let back = ScanCache::load(&dir);
+        let orig = &cache.entries[&path];
+        let loaded = back.hit(&path, orig.content_hash).expect("hit");
+        assert_eq!(loaded.masked.masked, orig.masked.masked);
+        assert_eq!(loaded.masked.suppressions, orig.masked.suppressions);
+        assert_eq!(loaded.masked.test_regions, orig.masked.test_regions);
+        assert_eq!(loaded.masked.captures, orig.masked.captures);
+        assert_eq!(loaded.findings.len(), orig.findings.len());
+        for (a, b) in loaded.findings.iter().zip(orig.findings.iter()) {
+            assert_eq!((a.rule, a.line, &a.message), (b.rule, b.line, &b.message));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_hash_misses() {
+        let (path, entry) = sample_entry("crates/core/src/demo.rs", "fn f() {}\n");
+        let hash = entry.content_hash;
+        let mut cache = ScanCache::default();
+        cache.entries.insert(path.clone(), entry);
+        assert!(cache.hit(&path, hash).is_some());
+        assert!(cache.hit(&path, hash ^ 1).is_none());
+        assert!(cache.hit("crates/core/src/other.rs", hash).is_none());
+    }
+
+    #[test]
+    fn corrupt_or_skewed_cache_degrades_to_empty() {
+        let dir = temp_dir("corrupt");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        // No footer at all: read_hashed refuses, load returns empty.
+        std::fs::write(dir.join(CACHE_FILE), b"garbage").expect("write");
+        assert!(ScanCache::load(&dir).entries.is_empty());
+        // Valid funnel file, wrong header version: parse refuses.
+        atomic_io::write_hashed(
+            &dir.join(CACHE_FILE),
+            b"incite-lint-cache v0 deadbeefdeadbeef\n",
+        )
+        .expect("write_hashed");
+        assert!(ScanCache::load(&dir).entries.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn escaping_roundtrips_newlines_and_backslashes() {
+        let hairy = "line one\nline \\two\\\nthree";
+        assert_eq!(unesc(&esc(hairy)).as_deref(), Some(hairy));
+        assert_eq!(unesc("dangling\\"), None);
+    }
+}

@@ -1,15 +1,27 @@
-//! Workspace walking and orchestration: collects sources, runs the
-//! pattern catalog (pass over each masked file), the INC005 spec checks,
-//! and the two-pass graph rules (INC008–INC010), then compares against a
-//! baseline.
+//! Workspace walking and orchestration.
+//!
+//! The per-file stage (UTF-8 decode, masking, INC001–INC007 pattern
+//! scan) fans out on [`incite_core::parallel::map_indexed_coarse`] — one
+//! file per work unit — and merges back in slot order, so the findings
+//! are byte-identical at every thread count. Results are memoized in a
+//! content-hash-keyed [`cache::ScanCache`]; a warm run re-analyzes only
+//! files whose bytes changed (see [`Report::files_reanalyzed`]). The
+//! global passes always run over the merged [`MaskedFile`]s: the INC005
+//! spec checks, the two-pass graph rules (INC008–INC010), the taint pass
+//! (INC011–INC013), and the invariant pass (INC014–INC016). Everything
+//! ends sorted by `(file, line, rule)` and ratcheted against a baseline.
 
 use crate::baseline::{Baseline, Comparison};
+use crate::cache::{CachedFile, ScanCache};
 use crate::concurrency;
 use crate::graph;
+use crate::invariants;
 use crate::lexer::MaskedFile;
 use crate::rules::{self, Finding};
 use crate::spec;
 use crate::taint;
+use incite_core::checkpoint::atomic_io;
+use incite_core::parallel;
 use std::collections::BTreeMap;
 use std::fs;
 use std::io;
@@ -18,9 +30,30 @@ use std::path::{Path, PathBuf};
 /// Deterministic work budget for a full run, in fuel units (roughly:
 /// bytes scanned per pass plus graph events processed). The whole
 /// workspace currently burns well under a tenth of this; the budget is
-/// the two-pass analyzer's stand-in for a wall-clock ceiling, counted
-/// the same way on every machine (no clocks — INC002 applies to us too).
+/// the analyzer's stand-in for a wall-clock ceiling, counted the same
+/// way on every machine (no clocks — INC002 applies to us too). Fuel is
+/// charged identically on cache hits and misses, so a report is
+/// byte-identical whether the run was cold or warm.
 pub const FUEL_BUDGET: u64 = 50_000_000;
+
+/// Engine tuning: thread count for the per-file stage and an optional
+/// cache directory for warm runs.
+pub struct Options {
+    /// Worker threads for the per-file fan-out. `1` is fully sequential.
+    /// Any value produces byte-identical findings.
+    pub threads: usize,
+    /// Where to read/write the scan cache. `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            threads: 1,
+            cache_dir: None,
+        }
+    }
+}
 
 /// A full lint run over one workspace root.
 pub struct Report {
@@ -30,6 +63,10 @@ pub struct Report {
     pub comparison: Comparison,
     /// Number of files scanned (for the summary line).
     pub files_scanned: usize,
+    /// Files whose per-file stage actually ran (scan-cache misses). On a
+    /// warm run with no edits this is 0. Not part of the JSON report —
+    /// the report must be byte-identical across cache states.
+    pub files_reanalyzed: usize,
     /// Deterministic work performed, in fuel units (see [`FUEL_BUDGET`]).
     pub fuel: u64,
 }
@@ -77,22 +114,106 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Runs the whole catalog against `root` and ratchets against `baseline`.
-pub fn run(root: &Path, baseline: &Baseline) -> io::Result<Report> {
-    let sources = collect_sources(root)?;
-    let mut masked: BTreeMap<String, MaskedFile> = BTreeMap::new();
-    for rel in &sources {
-        let text = fs::read_to_string(root.join(rel))?;
-        masked.insert(rel.clone(), MaskedFile::new(&text));
-    }
+/// One per-file stage result, produced in parallel and merged in slot
+/// order. `Default` is required by the parallel executor; an empty slot
+/// only survives if the closure never ran, which `error` distinguishes.
+#[derive(Default)]
+struct FileSlot {
+    masked: Option<MaskedFile>,
+    findings: Vec<Finding>,
+    content_hash: u64,
+    from_cache: bool,
+    error: Option<String>,
+}
 
-    // Pass over each file: the pattern rules and the spec checks.
+/// Runs the whole catalog against `root` and ratchets against `baseline`,
+/// sequentially and uncached. Equivalent to [`run_with`] at default
+/// [`Options`]; the CLI uses [`run_with`] directly.
+pub fn run(root: &Path, baseline: &Baseline) -> io::Result<Report> {
+    run_with(root, baseline, &Options::default())
+}
+
+/// Runs the whole catalog against `root` with explicit engine options.
+pub fn run_with(root: &Path, baseline: &Baseline, options: &Options) -> io::Result<Report> {
+    let sources = collect_sources(root)?;
+    let cache = match options.cache_dir.as_deref() {
+        Some(dir) => ScanCache::load(dir),
+        None => ScanCache::default(),
+    };
+
+    // Per-file stage: read + hash every file; lex and pattern-scan the
+    // ones the cache does not already cover. One file per work unit —
+    // slot `i` always holds file `i`, so the merge below is independent
+    // of the thread count.
+    let slots = parallel::map_indexed_coarse(sources.len(), options.threads.max(1), 1, |i| {
+        let rel = &sources[i];
+        let mut slot = FileSlot::default();
+        let raw = match fs::read(root.join(rel)) {
+            Ok(raw) => raw,
+            Err(err) => {
+                slot.error = Some(format!("{rel}: {err}"));
+                return slot;
+            }
+        };
+        slot.content_hash = atomic_io::fnv64(&raw);
+        if let Some(hit) = cache.hit(rel, slot.content_hash) {
+            slot.masked = Some(hit.masked.clone());
+            slot.findings = hit.findings.clone();
+            slot.from_cache = true;
+            return slot;
+        }
+        let text = match String::from_utf8(raw) {
+            Ok(text) => text,
+            Err(err) => {
+                slot.error = Some(format!("{rel}: {err}"));
+                return slot;
+            }
+        };
+        let masked = MaskedFile::new(&text);
+        slot.findings = rules::scan_file(rel, &masked);
+        slot.masked = Some(masked);
+        slot
+    })
+    .map_err(|err| io::Error::other(format!("per-file stage failed: {err}")))?;
+
+    // Deterministic sequential merge, in sorted-path (= slot) order.
     let mut fuel: u64 = 0;
     let mut findings = Vec::new();
-    for (rel, file) in &masked {
+    let mut files_reanalyzed = 0usize;
+    let mut fresh = ScanCache::default();
+    let mut masked: BTreeMap<String, MaskedFile> = BTreeMap::new();
+    for (rel, slot) in sources.iter().zip(slots) {
+        if let Some(err) = slot.error {
+            return Err(io::Error::other(err));
+        }
+        let Some(file) = slot.masked else {
+            return Err(io::Error::other(format!(
+                "{rel}: per-file stage produced no result"
+            )));
+        };
+        if !slot.from_cache {
+            files_reanalyzed += 1;
+        }
         fuel += file.masked.len() as u64;
-        findings.extend(rules::scan_file(rel, file));
+        findings.extend(slot.findings.iter().cloned());
+        if options.cache_dir.is_some() {
+            fresh.entries.insert(
+                rel.clone(),
+                CachedFile {
+                    content_hash: slot.content_hash,
+                    masked: file.clone(),
+                    findings: slot.findings,
+                },
+            );
+        }
+        masked.insert(rel.clone(), file);
     }
+    if let Some(dir) = options.cache_dir.as_deref() {
+        // A failed save means the next run is cold, not that this one
+        // failed: the cache is an accelerator, never a gate.
+        let _ = fresh.store(dir);
+    }
+
     let lookup = |path: &str| masked.get(path);
     findings.extend(spec::check(&spec::SpecSource { files: &lookup }));
 
@@ -110,6 +231,11 @@ pub fn run(root: &Path, baseline: &Baseline) -> io::Result<Report> {
     fuel += taint_fuel;
     findings.extend(taint_findings);
 
+    // Pass 4: invariant enforcement (INC014–INC016).
+    let (invariant_findings, invariant_fuel) = invariants::check(&ws);
+    fuel += invariant_fuel;
+    findings.extend(invariant_findings);
+
     findings
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
 
@@ -118,6 +244,7 @@ pub fn run(root: &Path, baseline: &Baseline) -> io::Result<Report> {
         findings,
         comparison,
         files_scanned: sources.len(),
+        files_reanalyzed,
         fuel,
     })
 }
@@ -231,19 +358,19 @@ mod tests {
         assert!(json.trim_end().ends_with('}'));
     }
 
-    /// The performance contract for the full two-pass run, stated in
-    /// deterministic fuel units rather than wall-clock (INC002 bans the
-    /// clock for a reason: a loaded CI machine must not flake this). The
-    /// budget is calibrated so that staying inside it keeps a full run
-    /// comfortably under the 5-second wall-clock target on any hardware
-    /// that builds the workspace at all.
+    /// The performance contract for the full run, stated in deterministic
+    /// fuel units rather than wall-clock (INC002 bans the clock for a
+    /// reason: a loaded CI machine must not flake this). The budget is
+    /// calibrated so that staying inside it keeps a full run comfortably
+    /// under the 5-second wall-clock target on any hardware that builds
+    /// the workspace at all.
     #[test]
     fn full_run_stays_inside_the_fuel_budget() {
         let report = run(&repo_root(), &Baseline::default()).unwrap();
         assert!(report.fuel > 0, "fuel accounting must be wired up");
         assert!(
             report.fuel <= FUEL_BUDGET,
-            "two-pass run burned {} fuel, budget is {} — the item graph \
+            "full run burned {} fuel, budget is {} — the item graph \
              or a fixpoint regressed",
             report.fuel,
             FUEL_BUDGET

@@ -13,6 +13,7 @@
 //! rule engine consumes.
 
 /// A source file after masking, with the side tables rules need.
+#[derive(Clone)]
 pub struct MaskedFile {
     /// Source with comment/string/char-literal contents blanked.
     pub masked: String,

@@ -1,4 +1,4 @@
-//! incite-lint: a dependency-free static-analysis pass over the workspace.
+//! incite-lint: the workspace's static-analysis engine.
 //!
 //! The paper's numbers are only credible if every pipeline stage is
 //! deterministic and total. This crate mechanically enforces that:
@@ -18,6 +18,9 @@
 //! | INC011 | tainted document text never reaches a diagnostic sink |
 //! | INC012 | no nondeterminism source reachable from scoring entries |
 //! | INC013 | error variants carrying String never built from raw text |
+//! | INC014 | every `atomic_io` write/append is reachable from a failpoint sweep |
+//! | INC015 | no float accumulation across `parallel::map_indexed` slots |
+//! | INC016 | wire-decoded lengths/offsets bounded before `+`/`*`/narrowing `as` |
 //!
 //! INC001–INC007 are per-file pattern rules over masked text. INC008–
 //! INC010 are graph rules: pass 1 ([`items`], [`graph`]) parses the item
@@ -25,23 +28,35 @@
 //! lock-site annotations; pass 2 ([`concurrency`]) walks that graph.
 //! INC011–INC013 are dataflow rules: pass 3 ([`taint`]) runs an
 //! interprocedural source→sanitizer→sink taint analysis and a purity
-//! reachability check over the same graph (DESIGN.md §15).
+//! reachability check over the same graph (DESIGN.md §15). INC014–INC016
+//! are invariant rules: pass 4 ([`invariants`]) walks the same graph for
+//! unswept checkpoint writes, order-sensitive float folds, and unchecked
+//! wire arithmetic (DESIGN.md §19).
+//!
+//! The [`engine`] fans the per-file stage out on `incite_core::parallel`
+//! with a deterministic sequential merge — findings are byte-identical at
+//! any thread count — and memoizes per-file results in a content-hash-
+//! keyed [`cache`] written through the `atomic_io` funnel, so warm runs
+//! re-analyze only changed files.
 //!
 //! Findings are ratcheted against `lint.baseline.json` (see [`baseline`]):
 //! grandfathered debt passes, new debt fails, and paid-down debt is
 //! reported so the baseline can shrink. Suppress a single site with
 //! `// incite-lint: allow(INC00x)` on (or directly above) the line.
 //!
-//! The crate has an **empty `[dependencies]`** by design: it must build
-//! and run first, in environments with no registry access, so it can gate
-//! everything else.
+//! The only dependency is `incite-core` — the linter runs on the exact
+//! parallel executor and checkpoint funnel it polices, and nothing else —
+//! so it still builds early in environments with no registry access.
 
 pub mod baseline;
+pub mod cache;
 pub mod concurrency;
 pub mod engine;
 pub mod graph;
+pub mod invariants;
 pub mod items;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
 pub mod spec;
 pub mod taint;

@@ -1,5 +1,6 @@
 //! CLI: `cargo run -p incite-lint -- check [--baseline PATH]
-//! [--format json|text] [--update-baseline] [--root PATH]`.
+//! [--format json|text|sarif] [--threads N] [--no-cache]
+//! [--update-baseline] [--root PATH]`.
 //!
 //! Exit codes: 0 clean (or baseline updated), 1 new violations, 2 usage,
 //! I/O, or baseline-ledger error.
@@ -7,6 +8,7 @@
 use incite_lint::baseline::Baseline;
 use incite_lint::engine;
 use incite_lint::rules::{RuleInfo, CATALOG};
+use incite_lint::sarif;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -21,16 +23,31 @@ USAGE:
 OPTIONS:
     --baseline <PATH>    Baseline file (default: <root>/lint.baseline.json)
     --update-baseline    Rewrite the baseline from current findings and exit 0
-    --format <FMT>       Report format: `text` (rustc-style, default) or
-                         `json` (machine-readable, on stdout)
+    --format <FMT>       Report format: `text` (rustc-style, default),
+                         `json` (machine-readable) or `sarif` (SARIF 2.1.0),
+                         both on stdout
     --json               Shorthand for --format json
+    --threads <N>        Worker threads for the per-file stage (default: the
+                         machine's parallelism, capped at 8). Findings are
+                         byte-identical at any thread count.
+    --no-cache           Disable the warm-scan cache (default location:
+                         <root>/target/incite-lint/)
     --root <PATH>        Workspace root (default: current directory)
 ";
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 struct Args {
     baseline: Option<PathBuf>,
     update_baseline: bool,
-    json: bool,
+    format: Format,
+    threads: Option<usize>,
+    no_cache: bool,
     root: PathBuf,
 }
 
@@ -40,7 +57,9 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
     let mut args = Args {
         baseline: None,
         update_baseline: false,
-        json: false,
+        format: Format::Text,
+        threads: None,
+        no_cache: false,
         root: PathBuf::from("."),
     };
     while let Some(flag) = argv.next() {
@@ -50,19 +69,33 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
                 args.baseline = Some(PathBuf::from(v));
             }
             "--update-baseline" => args.update_baseline = true,
-            "--json" => args.json = true,
+            "--json" => args.format = Format::Json,
             "--format" => {
-                let v = argv.next().ok_or("--format requires `json` or `text`")?;
+                let v = argv
+                    .next()
+                    .ok_or("--format requires `json`, `text` or `sarif`")?;
                 match v.as_str() {
-                    "json" => args.json = true,
-                    "text" => args.json = false,
+                    "json" => args.format = Format::Json,
+                    "text" => args.format = Format::Text,
+                    "sarif" => args.format = Format::Sarif,
                     other => {
                         return Err(format!(
-                            "unknown format `{other}` (expected `json` or `text`)\n\n{USAGE}"
-                        ))
+                        "unknown format `{other}` (expected `json`, `text` or `sarif`)\n\n{USAGE}"
+                    ))
                     }
                 }
             }
+            "--threads" => {
+                let v = argv.next().ok_or("--threads requires a count")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--threads expects a positive integer, got `{v}`"))?;
+                if n == 0 {
+                    return Err("--threads expects a positive integer".to_string());
+                }
+                args.threads = Some(n);
+            }
+            "--no-cache" => args.no_cache = true,
             "--root" => {
                 let v = argv.next().ok_or("--root requires a path")?;
                 args.root = PathBuf::from(v);
@@ -153,7 +186,20 @@ fn check(args: Args) -> ExitCode {
         }
     };
 
-    let report = match engine::run(&args.root, &baseline) {
+    let threads = args.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(1)
+    });
+    let options = engine::Options {
+        threads,
+        cache_dir: if args.no_cache {
+            None
+        } else {
+            Some(args.root.join("target").join("incite-lint"))
+        },
+    };
+    let report = match engine::run_with(&args.root, &baseline, &options) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: scanning {}: {e}", args.root.display());
@@ -184,19 +230,23 @@ fn check(args: Args) -> ExitCode {
         return ExitCode::from(2);
     }
 
-    if args.json {
-        print!("{}", engine::report_json(&report));
-    } else {
-        for f in &report.comparison.new_findings {
-            eprintln!("{}\n", f.render());
+    match args.format {
+        Format::Json => print!("{}", engine::report_json(&report)),
+        Format::Sarif => print!("{}", sarif::report_sarif(&report)),
+        Format::Text => {
+            for f in &report.comparison.new_findings {
+                eprintln!("{}\n", f.render());
+            }
+            eprintln!(
+                "incite-lint: {} file(s) ({} re-analyzed), {} finding(s) \
+                 ({} grandfathered, {} new)",
+                report.files_scanned,
+                report.files_reanalyzed,
+                report.findings.len(),
+                report.findings.len() - report.comparison.new_findings.len(),
+                report.comparison.new_findings.len()
+            );
         }
-        eprintln!(
-            "incite-lint: {} file(s), {} finding(s) ({} grandfathered, {} new)",
-            report.files_scanned,
-            report.findings.len(),
-            report.findings.len() - report.comparison.new_findings.len(),
-            report.comparison.new_findings.len()
-        );
     }
 
     if report.comparison.new_findings.is_empty() {

@@ -245,6 +245,62 @@ pub const CATALOG: &[RuleInfo] = &[
         fix: "Store structure (offsets, counts) in the variant, or sanitize \
               at construction: `excerpt: redact_excerpt(raw, 40)`.",
     },
+    RuleInfo {
+        id: "INC014",
+        summary: "every atomic_io write/append site in core, serve and \
+                  stream is reachable from a failpoint check/trip site, so \
+                  the kill sweep covers it",
+        contract: "Crash-recovery is proven by the failpoint sweeps, and a \
+                   sweep can only kill what a failpoint brackets: every \
+                   `write_atomic`/`write_hashed`/`write_framed`/\
+                   `AppendLog::open` call site outside tests must be \
+                   reachable, through the call graph, from a function that \
+                   consults a failpoint registry (`.check(..)`/`.trip(..)`). \
+                   An unreachable write is persistence the sweep silently \
+                   stopped covering.",
+        example: "pub fn save(&self) { atomic_io::write_hashed(&self.path, \
+                  payload)?; } // no sweep reaches save()",
+        fix: "Route the write under an existing swept entry point, or add a \
+              registered failpoint site on the path to it (see \
+              `core::failpoints` / `serve::chaos`) and cover it in the \
+              sweep tests.",
+    },
+    RuleInfo {
+        id: "INC015",
+        summary: "no f32/f64 accumulation across parallel::map_indexed \
+                  slots: closures must be slot-indexed, folds sequential",
+        contract: "The parallel executor guarantees byte-identical output \
+                   at any thread count because slot `i` is exactly `f(i)`. \
+                   A mutable float declared before a `map_indexed` call and \
+                   accumulated inside the closure folds in worker-completion \
+                   order, which breaks that guarantee in exactly the way the \
+                   determinism ratchets exist to catch.",
+        example: "let mut total = 0.0f32;\nmap_indexed(n, threads, |i| { \
+                  total += score(i); 0 });",
+        fix: "Return the per-slot value from the closure and fold the \
+              returned slot vector sequentially: `let slots = \
+              map_indexed(n, threads, score)?; let total: f32 = \
+              slots.iter().sum();`.",
+    },
+    RuleInfo {
+        id: "INC016",
+        summary: "wire-decoded lengths/offsets in corpus::jsonl and \
+                  stream::event are bounded before +/*/narrowing-as \
+                  arithmetic",
+        contract: "Values decoded from wire bytes (`from_le_bytes`, \
+                   `.parse(..)`, `serde_json::from_str(..)`) are attacker- \
+                   controlled: until a bound guard (`<`/`<=`/`.min(..)`/\
+                   `.get(..)`) or a `checked_*`/`saturating_*` operation \
+                   intervenes, they must not feed bare `+`/`*` arithmetic \
+                   or a narrowing `as` cast, where overflow or truncation \
+                   silently corrupts offsets. Collection `.len()` values \
+                   are already bounded and stay clean.",
+        example: "let len = u32::from_le_bytes(hdr);\nlet end = offset + \
+                  len; // unbounded wire value",
+        fix: "Guard first (`if len <= MAX_FRAME { .. }`), or use \
+              `checked_add`/`checked_mul` and handle `None` as a typed \
+              decode error.",
+    },
 ];
 
 /// Crates whose library code must be panic-free (INC001).

@@ -1,0 +1,27 @@
+//! Seeded INC015 violation for the invariant-rule integration test:
+//! a float accumulated across `map_indexed` slots folds in worker
+//! completion order. The slot-vector variant below stays clean.
+
+/// Accumulates into a captured float: worker completion order decides
+/// the result bits.
+pub fn fold_unordered(vals: &[f32], threads: usize) -> f32 {
+    let mut total = 0.0f32;
+    let _ = parallel::map_indexed(vals.len(), threads, |i| {
+        total += vals[i];
+        0u32
+    });
+    total
+}
+
+/// Returns per-slot values and folds the slot vector sequentially:
+/// byte-identical at any thread count.
+pub fn fold_slotted(vals: &[f32], threads: usize) -> f32 {
+    let slots = parallel::map_indexed(vals.len(), threads, |i| vals[i] * 2.0);
+    let mut total = 0.0f32;
+    if let Ok(resolved) = slots {
+        for slot in resolved {
+            total += slot;
+        }
+    }
+    total
+}

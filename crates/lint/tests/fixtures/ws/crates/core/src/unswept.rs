@@ -1,0 +1,36 @@
+//! Seeded INC014 violations for the invariant-rule integration test.
+//! This tree is fixture data the linter scans; it is not part of the
+//! cargo workspace and never compiles.
+
+use std::path::PathBuf;
+
+pub struct Ledger {
+    failpoints: Registry,
+    dir: PathBuf,
+}
+
+impl Ledger {
+    /// Consults the failpoint registry, then saves: the write inside
+    /// `save_ledger` is reachable from this sweep site and stays clean.
+    pub fn sweep_and_save(&mut self) {
+        self.failpoints.check("ledger-save");
+        self.save_ledger();
+    }
+
+    fn save_ledger(&self) {
+        let payload = b"ledger-state";
+        atomic_io::write_hashed(&self.dir.join("ledger"), payload);
+    }
+
+    /// Writes with no failpoint anywhere on the call path: the kill
+    /// sweep can never cover this checkpoint.
+    pub fn orphan_save(&self) {
+        let payload = b"orphan-state";
+        atomic_io::write_hashed(&self.dir.join("orphan"), payload);
+    }
+}
+
+/// Acquires the append funnel outside any sweep.
+pub fn open_log(dir: &PathBuf) -> AppendLog {
+    atomic_io::AppendLog::open(&dir.join("records.log"))
+}

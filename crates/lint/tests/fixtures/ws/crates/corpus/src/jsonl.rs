@@ -1,0 +1,27 @@
+//! Seeded INC016 violations for the invariant-rule integration test:
+//! wire-decoded lengths flow into bare arithmetic and a narrowing cast
+//! before any bound is applied. The guarded and checked variants below
+//! stay clean.
+
+/// Reads a length-prefixed frame header without bounding the length.
+pub fn frame_end(bytes: &[u8]) -> u32 {
+    let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    let end = len + 4;
+    let short = len as u16;
+    end + u32::from(short)
+}
+
+/// Bounds the decoded length first, so the arithmetic is clean.
+pub fn frame_end_guarded(bytes: &[u8]) -> u32 {
+    let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    if len < 4096 {
+        return len + 4;
+    }
+    4096
+}
+
+/// Checked arithmetic discharges the obligation without a guard.
+pub fn frame_end_checked(bytes: &[u8]) -> Option<u32> {
+    let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    len.checked_add(4)
+}

@@ -1,8 +1,9 @@
-//! End-to-end check of the graph rules (INC008–INC010) and the taint
-//! rules (INC011–INC013) against the seeded fixture tree in
-//! `tests/fixtures/ws`: each rule must fire exactly where a violation
-//! was planted and nowhere else, and the baseline ratchet must
-//! round-trip to a fixed point over the same findings.
+//! End-to-end check of the graph rules (INC008–INC010), the taint
+//! rules (INC011–INC013) and the invariant rules (INC014–INC016)
+//! against the seeded fixture tree in `tests/fixtures/ws`: each rule
+//! must fire exactly where a violation was planted and nowhere else,
+//! and the baseline ratchet must round-trip to a fixed point over the
+//! same findings.
 //!
 //! The complementary property — zero graph-rule findings on the *real*
 //! workspace — is covered by `engine::tests::
@@ -32,6 +33,10 @@ fn seeded_violations_fire_exactly_where_planted() {
     assert_eq!(
         graph,
         vec![
+            // `fold_unordered` accumulates a captured float inside the
+            // `map_indexed` closure; `fold_slotted` folds the returned
+            // slot vector and stays clean.
+            ("crates/core/src/folds.rs", "INC015", 10),
             // `transfer` takes a then b; `audit` takes b then a.
             ("crates/core/src/locks.rs", "INC008", 30),
             ("crates/core/src/locks.rs", "INC008", 38),
@@ -45,12 +50,23 @@ fn seeded_violations_fire_exactly_where_planted() {
             // clean.
             ("crates/core/src/nondet.rs", "INC012", 18),
             ("crates/core/src/nondet.rs", "INC012", 28),
+            // `orphan_save` and the free `open_log` acquire the write
+            // funnel with no failpoint on any path; `sweep_and_save` →
+            // `save_ledger` is swept and stays clean.
+            ("crates/core/src/unswept.rs", "INC014", 29),
+            ("crates/core/src/unswept.rs", "INC014", 35),
             // `ingest` stuffs raw text into `ParseError::BadRecord`;
             // `describe` does the braced form. The structure-only
             // `Truncated` and the `redact_excerpt`-wrapped construction
             // stay clean.
             ("crates/corpus/src/errors.rs", "INC013", 27),
             ("crates/corpus/src/errors.rs", "INC013", 34),
+            // `frame_end` runs bare `+`, a narrowing `as u16` and a
+            // transitively tainted sum on a wire-decoded length; the
+            // guarded and checked variants stay clean.
+            ("crates/corpus/src/jsonl.rs", "INC016", 9),
+            ("crates/corpus/src/jsonl.rs", "INC016", 10),
+            ("crates/corpus/src/jsonl.rs", "INC016", 11),
             // `route` grows `out` in a loop with no visible bound; the
             // `max_batch` and `with_capacity` variants stay clean.
             ("crates/serve/src/handler.rs", "INC010", 7),

@@ -6,6 +6,90 @@
 //! in the `lexer` unit tests.
 
 use incite_lint::lexer::MaskedFile;
+use incite_lint::rules;
+
+#[test]
+fn doc_comment_code_fences_stay_masked() {
+    // The fenced examples quote an INC001 violation; none of it is code,
+    // so none of it may survive masking or reach the pattern rules —
+    // even in an INC001-scoped crate.
+    let source = "\
+//! Module docs.
+//!
+//! ```
+//! let value = maybe.unwrap();
+//! let guard = pair.a.lock();
+//! ```
+
+/// Scores one document.
+///
+/// ```
+/// let score = engine.score(text).expect(\"scored\");
+/// ```
+pub fn score(x: u32) -> u32 {
+    x + 1
+}
+";
+    let masked = MaskedFile::new(source);
+    assert!(
+        !masked.masked.contains("unwrap") && !masked.masked.contains("expect"),
+        "doc-comment contents leaked into the masked text:\n{}",
+        masked.masked
+    );
+    assert_eq!(
+        masked.masked.matches('\n').count(),
+        source.matches('\n').count(),
+        "masking must preserve line structure"
+    );
+    assert!(
+        masked.masked.contains("pub fn score"),
+        "masking ate the real code:\n{}",
+        masked.masked
+    );
+    let findings = rules::scan_file("crates/core/src/demo.rs", &masked);
+    assert!(
+        findings.is_empty(),
+        "doc-comment examples must not lint: {findings:?}"
+    );
+}
+
+#[test]
+fn nested_raw_strings_close_on_the_matching_delimiter() {
+    // The outer r##"…"## contains a complete r#"…"# literal; a lexer
+    // that closed on the first `"#` would leave `.unwrap()` live.
+    let source = r####"
+pub fn template() -> &'static str {
+    let inner = r##"outer text r#"inner .unwrap() text"# more outer"##;
+    inner
+}
+
+pub fn after(x: u32) -> u32 {
+    x + 2
+}
+"####;
+    let masked = MaskedFile::new(source);
+    assert!(
+        !masked.masked.contains("unwrap"),
+        "nested raw-string contents leaked:\n{}",
+        masked.masked
+    );
+    assert_eq!(
+        masked.masked.matches('\n').count(),
+        source.matches('\n').count(),
+        "masking must preserve line structure"
+    );
+    // The code after the literal is still live: its tokens survive.
+    assert!(
+        masked.masked.contains("pub fn after"),
+        "masking ate code after the raw string:\n{}",
+        masked.masked
+    );
+    let findings = rules::scan_file("crates/core/src/demo.rs", &masked);
+    assert!(
+        findings.is_empty(),
+        "raw-string contents must not lint: {findings:?}"
+    );
+}
 
 #[test]
 fn combos_never_leak_and_preserve_lines() {

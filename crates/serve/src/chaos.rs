@@ -24,9 +24,18 @@ pub const SHORT_WRITE: &str = "serve-short-write";
 pub const WORKER_FAULT: &str = "serve-worker-fault";
 /// A model swap aborts after loading, before the generation flips.
 pub const MID_SWAP: &str = "serve-mid-swap";
+/// Opening the request journal fails at boot, as if the path were
+/// unwritable — the server must refuse to start, not drop records later.
+pub const JOURNAL_OPEN: &str = "serve-journal-open";
 
 /// Every serve chaos site, for sweep loops.
-pub const SERVE_SITES: &[&str] = &[SOCKET_RESET, SHORT_WRITE, WORKER_FAULT, MID_SWAP];
+pub const SERVE_SITES: &[&str] = &[
+    SOCKET_RESET,
+    SHORT_WRITE,
+    WORKER_FAULT,
+    MID_SWAP,
+    JOURNAL_OPEN,
+];
 
 /// One-shot wrapper over the core registry for the serve request path.
 #[derive(Debug, Default)]

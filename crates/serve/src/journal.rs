@@ -16,6 +16,7 @@
 //! the journal thread drains the remaining buffered records in FIFO order
 //! and exits, so `ServerHandle::join` loses nothing.
 
+use crate::chaos::{self, ChaosRegistry};
 use incite_core::checkpoint::atomic_io::{self, AppendLog};
 use incite_core::CheckpointError;
 use std::path::{Path, PathBuf};
@@ -58,11 +59,19 @@ pub struct JournalStats {
 /// Returns the sender workers clone (dropping every clone shuts the
 /// thread down after a FIFO drain) and the join handle. Opening eagerly
 /// means an unwritable journal path fails server boot, not the first
-/// request.
+/// request — the [`chaos::JOURNAL_OPEN`] failpoint injects exactly that
+/// boot failure, which is what makes this open sweepable (INC014).
 pub(crate) fn spawn(
     path: &Path,
     stats: Arc<JournalStats>,
+    chaos: &ChaosRegistry,
 ) -> Result<(mpsc::Sender<JournalRecord>, thread::JoinHandle<()>), CheckpointError> {
+    if chaos.trip(chaos::JOURNAL_OPEN) {
+        return Err(CheckpointError::Io {
+            path: path.to_path_buf(),
+            source: std::io::Error::other("injected journal-open fault"),
+        });
+    }
     let mut log = AppendLog::open(path)?;
     let (tx, rx) = mpsc::channel::<JournalRecord>();
     let handle = thread::Builder::new()
@@ -143,7 +152,8 @@ mod tests {
         let path = dir.join("roundtrip.jsonl");
         let _ = std::fs::remove_file(&path);
         let stats = Arc::new(JournalStats::default());
-        let (tx, handle) = spawn(&path, Arc::clone(&stats)).expect("journal opens");
+        let chaos = ChaosRegistry::default();
+        let (tx, handle) = spawn(&path, Arc::clone(&stats), &chaos).expect("journal opens");
         for seq in 0..5 {
             tx.send(record(seq)).expect("send");
         }

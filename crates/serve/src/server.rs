@@ -162,17 +162,18 @@ impl Server {
             source,
         })?;
         let journal_stats = Arc::new(JournalStats::default());
+        let chaos = ChaosRegistry::from_registry(config.failpoints.clone());
         // Open the journal before spawning anything: an unwritable path
-        // is a boot failure, not a silent runtime drop.
+        // is a boot failure, not a silent runtime drop. The chaos registry
+        // is built first so the journal-open failpoint covers this open.
         let journal_writer = match &config.journal {
             None => None,
             Some(path) => Some(
-                journal::spawn(path, Arc::clone(&journal_stats))
+                journal::spawn(path, Arc::clone(&journal_stats), &chaos)
                     .map_err(|e| ServeError::Config(format!("cannot open journal: {e}")))?,
             ),
         };
         let admission = AdmissionControl::new(config.tenants.clone(), Instant::now());
-        let chaos = ChaosRegistry::from_registry(config.failpoints.clone());
         let state = Arc::new(ServerState {
             registry,
             admission,

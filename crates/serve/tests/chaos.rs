@@ -153,6 +153,35 @@ fn worker_fault_fails_one_batch_typed_then_serves_identically() {
 }
 
 #[test]
+fn journal_open_fault_refuses_boot_with_a_typed_error() {
+    // An unopenable journal is a boot failure, not a silent runtime drop:
+    // with the journal-open site armed, `Server::start` must return a
+    // typed config error before any worker thread exists.
+    let (classifier, _texts) = trained_classifier(84);
+    let root = std::env::temp_dir().join(format!("incite-chaos-journal-{}", std::process::id()));
+    std::fs::create_dir_all(&root).expect("journal dir");
+    let mut failpoints = FailpointRegistry::new();
+    failpoints.arm(chaos::JOURNAL_OPEN);
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        deadline: Duration::from_secs(30),
+        failpoints,
+        journal: Some(root.join("requests.journal")),
+        ..ServeConfig::default()
+    };
+    let message = match Server::start(classifier, config) {
+        Err(err) => err.to_string(),
+        Ok(_) => panic!("armed journal-open must refuse boot"),
+    };
+    assert!(
+        message.contains("cannot open journal") && message.contains("injected journal-open fault"),
+        "boot refusal must name the journal fault, got: {message}"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
 fn mid_swap_fault_keeps_the_old_generation_then_swap_succeeds() {
     use incite_serve::journal::read_journal;
 
